@@ -1,0 +1,308 @@
+// Package bench provides one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark runs the corresponding experiment at a
+// reduced scale (a subset of workloads, shorter instruction windows) and
+// reports the figure's headline numbers as custom benchmark metrics, so
+// `go test -bench=.` regenerates the whole evaluation in miniature and the
+// full CLI (`pexp -fig N`) regenerates any figure at paper scale.
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchWorkloads is the reduced set used by the benchmarks: two 2MB-heavy
+// streamers, a 4KB-heavy gather, a long-stride workload, a graph, a chaser,
+// and two QMM kernels — one representative per behaviour class.
+var benchWorkloads = []string{
+	"libquantum", "bwaves", "soplex", "milc", "pr.road", "mcf", "qmm_fp_12", "qmm_fp_67",
+}
+
+func benchOptions(b *testing.B) experiments.Options {
+	b.Helper()
+	o := experiments.DefaultOptions()
+	o.Warmup = 50_000
+	o.Instructions = 200_000
+	o.Parallelism = runtime.NumCPU()
+	o.Mixes = 3
+	ws, err := experiments.WorkloadsByName(benchWorkloads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Workloads = ws
+	return o
+}
+
+// BenchmarkTableI exercises the baseline machine (no prefetching) across the
+// bench workloads, the reference configuration of Table I.
+func BenchmarkTableI(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		for _, w := range o.Workloads {
+			res, err := sim.Run(o.Config, sim.PrefSpec{Base: "none"}, w, sim.RunOpt{
+				Warmup: o.Warmup, Instructions: o.Instructions, Seed: o.Seed, Samples: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if w.Name == "libquantum" {
+				b.ReportMetric(res.IPC, "libquantum-IPC")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the missed-opportunity probability
+// distribution.
+func BenchmarkFigure2(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PerPrefetcher["spp"].Mean, "spp-mean-P")
+		b.ReportMetric(r.PerPrefetcher["spp"].Max, "spp-max-P")
+	}
+}
+
+// BenchmarkFigure3 regenerates the 2MB-page-usage profiles.
+func BenchmarkFigure3(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lq := r.Series["libquantum"]
+		b.ReportMetric(lq[len(lq)-1]*100, "libquantum-2MB-%")
+	}
+}
+
+// BenchmarkFigure4 regenerates the SPP vs SPP-PSA-Magic study.
+func BenchmarkFigure4(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean["SPP"], "SPP-geomean-%")
+		b.ReportMetric(r.Geomean["SPP-PSA-Magic"], "Magic-geomean-%")
+	}
+}
+
+// BenchmarkFigure5 adds the 2MB-indexed Magic variant.
+func BenchmarkFigure5(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean["SPP-PSA-Magic-2MB"], "Magic2MB-geomean-%")
+		b.ReportMetric(r.Speedup["SPP-PSA-Magic-2MB"]["milc"], "milc-Magic2MB-%")
+	}
+}
+
+// BenchmarkFigure8 regenerates the SPP PSA-variant comparison.
+func BenchmarkFigure8(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean["PSA"], "PSA-%")
+		b.ReportMetric(r.Geomean["PSA-2MB"], "PSA-2MB-%")
+		b.ReportMetric(r.Geomean["PSA-SD"], "PSA-SD-%")
+	}
+}
+
+// BenchmarkFigure9 regenerates the per-suite geomeans for all four
+// prefetchers.
+func BenchmarkFigure9(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean["spp"]["PSA-SD"]["ALL"], "SPP-PSA-SD-%")
+		b.ReportMetric(r.Geomean["vldp"]["PSA-SD"]["ALL"], "VLDP-PSA-SD-%")
+		b.ReportMetric(r.Geomean["ppf"]["PSA-SD"]["ALL"], "PPF-PSA-SD-%")
+		b.ReportMetric(r.Geomean["bop"]["PSA-SD"]["ALL"], "BOP-PSA-SD-%")
+	}
+}
+
+// BenchmarkFigure10 regenerates the latency/coverage/accuracy breakdown.
+func BenchmarkFigure10(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows["PSA-SD"]["milc"].SpeedupPct, "milc-PSA-SD-%")
+		b.ReportMetric(r.Rows["PSA"]["bwaves"].L2LatReductionPct, "bwaves-L2latRed-%")
+	}
+}
+
+// BenchmarkFigure11 regenerates the selection-logic comparison.
+func BenchmarkFigure11(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean["spp"]["SD-Proposed"], "SPP-SD-Proposed-%")
+		b.ReportMetric(r.Geomean["spp"]["SD-Standard"], "SPP-SD-Standard-%")
+		b.ReportMetric(r.Geomean["spp"]["ISO-Storage"], "SPP-ISO-%")
+	}
+}
+
+// BenchmarkFigure12 regenerates the constrained sweeps at two points per axis
+// (full sweeps via `pexp -fig 12`).
+func BenchmarkFigure12(b *testing.B) {
+	o := benchOptions(b)
+	// The sweep multiplies runs by ~14 configurations; trim the workload set
+	// further to keep the benchmark bounded.
+	ws, err := experiments.WorkloadsByName([]string{"libquantum", "milc", "soplex", "pr.road"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Workloads = ws
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure12(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Sweeps["L2 MSHR"]["8-entry"]["spp"]["PSA-SD"], "MSHR8-SPP-SD-%")
+		b.ReportMetric(r.Sweeps["DRAM rate"]["400MT/s"]["spp"]["PSA"], "400MTs-SPP-PSA-%")
+	}
+}
+
+// BenchmarkFigure13 regenerates the L1D-prefetching comparison.
+func BenchmarkFigure13(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure13(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup["IPCP"], "IPCP-x")
+		b.ReportMetric(r.Speedup["IPCP++"], "IPCP++-x")
+		b.ReportMetric(r.Speedup["SPP-PSA-SD"], "SPP-PSA-SD-x")
+	}
+}
+
+// BenchmarkFigure14 regenerates the 4-core mixes.
+func BenchmarkFigure14(b *testing.B) {
+	o := benchOptions(b)
+	o.Instructions = 100_000
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary["SPP-PSA-SD"].Mean, "SPP-PSA-SD-mean-%")
+	}
+}
+
+// BenchmarkFigure15 regenerates the 8-core mixes.
+func BenchmarkFigure15(b *testing.B) {
+	o := benchOptions(b)
+	o.Instructions = 100_000
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure15(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary["SPP-PSA-SD"].Mean, "SPP-PSA-SD-mean-%")
+	}
+}
+
+// BenchmarkNonIntensive regenerates the Section VI-B1 extended-set numbers.
+func BenchmarkNonIntensive(b *testing.B) {
+	o := benchOptions(b)
+	// Use the bench subset plus the non-intensive extras.
+	var ws []trace.Workload
+	ws = append(ws, o.Workloads...)
+	for _, w := range trace.All() {
+		if !w.Intensive {
+			ws = append(ws, w)
+		}
+	}
+	o.Workloads = ws
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean["PSA-SD"], "extended-PSA-SD-%")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per second), the cost metric for everything above.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := trace.ByName("libquantum")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, sim.PrefSpec{Base: "spp"}, w, sim.RunOpt{
+			Warmup: 10_000, Instructions: 200_000, Seed: uint64(i + 1), Samples: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Instructions
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+// BenchmarkAblation regenerates the modelling-decision sensitivity study.
+func BenchmarkAblation(b *testing.B) {
+	o := benchOptions(b)
+	ws, err := experiments.WorkloadsByName([]string{"libquantum", "milc", "pr.road"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Workloads = ws
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean["default"], "default-%")
+		b.ReportMetric(r.Geomean["serial-rows"], "serial-rows-%")
+	}
+}
+
+// BenchmarkExtensions regenerates the beyond-the-paper study (SMS, AMPM,
+// temporal, TLB prefetcher).
+func BenchmarkExtensions(b *testing.B) {
+	o := benchOptions(b)
+	ws, err := experiments.WorkloadsByName([]string{"libquantum", "milc", "pr.road"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Workloads = ws
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Extensions(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PSAGeomean["ampm"], "AMPM-PSA2MB-%")
+		b.ReportMetric(r.SpeedupOverNone["temporal"], "temporal-x")
+	}
+}

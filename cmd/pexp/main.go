@@ -1,0 +1,108 @@
+// Command pexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pexp -fig 8                      # regenerate Figure 8 at default scale
+//	pexp -fig 9 -instr 2000000       # longer measured window
+//	pexp -fig 14 -mixes 100          # the paper's full 100 mixes
+//	pexp -fig all                    # everything (slow)
+//	pexp -list                       # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment to run (fig2..fig15, nonintensive, table1, all)")
+		list    = flag.Bool("list", false, "list available experiments")
+		warmup  = flag.Uint64("warmup", 200_000, "warm-up instructions per run")
+		instr   = flag.Uint64("instr", 1_000_000, "measured instructions per run")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations")
+		mixes   = flag.Int("mixes", 20, "multi-core mixes for fig14/fig15")
+		wl      = flag.String("workloads", "", "comma-separated workload subset (default: all intensive)")
+		check   = flag.Bool("check", false, "verify the paper-shape invariants and exit nonzero on violation")
+		base    = flag.String("base", "", "prefetcher for per-prefetcher studies (fig8): spp, vldp, ppf, bop, sms, ampm, temporal")
+		htmlOut = flag.String("html", "", "also write an HTML report (with SVG charts) to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:", strings.Join(experiments.Names, ", "))
+		return
+	}
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	o := experiments.DefaultOptions()
+	o.Warmup = *warmup
+	o.Instructions = *instr
+	o.Seed = *seed
+	o.Parallelism = *par
+	o.Mixes = *mixes
+	o.Base = *base
+	if *wl != "" {
+		ws, err := experiments.WorkloadsByName(strings.Split(*wl, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		o.Workloads = ws
+	}
+
+	names := []string{*fig}
+	if *fig == "all" {
+		names = experiments.Names
+	}
+	var collected []struct {
+		Name   string
+		Result experiments.Renderer
+	}
+	for _, name := range names {
+		start := time.Now()
+		r, err := experiments.Run(name, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Render())
+		if *check {
+			if errs := experiments.CheckAll(r); len(errs) > 0 {
+				for _, e := range errs {
+					fmt.Fprintln(os.Stderr, "SHAPE VIOLATION:", e)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("shape checks: PASS")
+		}
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+		collected = append(collected, struct {
+			Name   string
+			Result experiments.Renderer
+		}{name, r})
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteHTMLReport(f, "Page Size Aware Cache Prefetching — reproduction report", collected); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("HTML report written to", *htmlOut)
+	}
+}

@@ -1,0 +1,152 @@
+// Command psim runs a single simulation: one workload, one prefetching
+// configuration, and prints the full metric set.
+//
+// Usage:
+//
+//	psim -workload milc -pref spp -variant psa-sd
+//	psim -workload libquantum -pref none -l1 ipcp++
+//	psim -workloads                      # list the catalogue
+//	psim -print-config                   # show Table I
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// replayWorkload wraps a recorded PSAT trace file as a workload. The OS-side
+// page-size policy is applied at simulation time, so the same trace can be
+// replayed under any THP fraction.
+func replayWorkload(path string, thpFrac float64) (trace.Workload, error) {
+	if _, err := os.Stat(path); err != nil {
+		return trace.Workload{}, err
+	}
+	return trace.Workload{
+		Name:      path,
+		Suite:     "TRACE",
+		Intensive: true,
+		THP:       vm.FractionTHP{Frac: thpFrac, Seed: 1},
+		New: func(uint64) trace.Reader {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return trace.NewFileReader(f)
+		},
+	}, nil
+}
+
+func variantByName(s string) (core.Variant, error) {
+	switch strings.ToLower(s) {
+	case "", "original":
+		return core.Original, nil
+	case "psa":
+		return core.PSA, nil
+	case "psa-2mb", "psa2mb":
+		return core.PSA2MB, nil
+	case "psa-sd", "psasd":
+		return core.PSASD, nil
+	case "psa-magic", "magic":
+		return core.PSAMagic, nil
+	case "psa-magic-2mb", "magic-2mb":
+		return core.PSAMagic2MB, nil
+	case "sd-standard":
+		return core.SDStandard, nil
+	case "sd-page-size":
+		return core.SDPageSize, nil
+	case "iso", "iso-storage":
+		return core.ISOStorage, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
+}
+
+func main() {
+	var (
+		workload    = flag.String("workload", "", "workload name (see -workloads)")
+		traceFile   = flag.String("trace", "", "replay a recorded PSAT trace instead of a generator")
+		thpFrac     = flag.Float64("thp", 0.85, "THP 2MB fraction when replaying a trace")
+		pref        = flag.String("pref", "spp", "L2 prefetcher: none, spp, vldp, ppf, bop")
+		variant     = flag.String("variant", "psa-sd", "variant: original, psa, psa-2mb, psa-sd, psa-magic, psa-magic-2mb, sd-standard, sd-page-size, iso")
+		l1          = flag.String("l1", "", "L1D prefetcher: nextline, ipcp, ipcp++ (empty: none)")
+		warmup      = flag.Uint64("warmup", 250_000, "warm-up instructions")
+		instr       = flag.Uint64("instr", 1_000_000, "measured instructions")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		listWs      = flag.Bool("workloads", false, "list workloads and exit")
+		printConfig = flag.Bool("print-config", false, "print the Table I configuration and exit")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	if *printConfig {
+		fmt.Println(cfg.String())
+		return
+	}
+	if *listWs {
+		for _, w := range trace.All() {
+			tag := ""
+			if !w.Intensive {
+				tag = " (non-intensive)"
+			}
+			fmt.Printf("%-18s %-7s %s%s\n", w.Name, w.Suite, w.Description, tag)
+		}
+		return
+	}
+	if *workload == "" && *traceFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var w trace.Workload
+	var err error
+	if *traceFile != "" {
+		w, err = replayWorkload(*traceFile, *thpFrac)
+	} else {
+		w, err = trace.ByName(*workload)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	v, err := variantByName(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec := sim.PrefSpec{Base: *pref, Variant: v, L1: sim.L1Pref(*l1)}
+	res, err := sim.Run(cfg, spec, w, sim.RunOpt{
+		Warmup: *warmup, Instructions: *instr, Seed: *seed, Samples: 8,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:      %s (%s)\n", res.Workload, w.Suite)
+	fmt.Printf("prefetcher:    %s\n", res.Spec)
+	fmt.Printf("instructions:  %d over %d cycles\n", res.Instructions, res.Cycles)
+	fmt.Printf("IPC:           %.4f\n", res.IPC)
+	fmt.Printf("2MB fraction:  %.1f%%\n", res.Frac2MFinal*100)
+	fmt.Printf("L1D: hits %d misses %d mpki %.1f avg-lat %.1f\n",
+		res.L1D.DemandHits, res.L1D.DemandMisses, res.L1D.MPKI(res.Instructions), res.L1D.AvgDemandLatency())
+	fmt.Printf("L2C: hits %d misses %d mpki %.1f avg-lat %.1f pf-issued %d useful %d late %d acc %.2f cov %.2f\n",
+		res.L2.DemandHits, res.L2.DemandMisses, res.L2.MPKI(res.Instructions), res.L2.AvgDemandLatency(),
+		res.L2.PrefetchIssued, res.L2.PrefetchUseful, res.L2.PrefetchLate, res.L2.Accuracy(), res.L2.Coverage())
+	fmt.Printf("LLC: hits %d misses %d mpki %.1f avg-lat %.1f pf-issued %d useful %d acc %.2f cov %.2f\n",
+		res.LLC.DemandHits, res.LLC.DemandMisses, res.LLC.MPKI(res.Instructions), res.LLC.AvgDemandLatency(),
+		res.LLC.PrefetchIssued, res.LLC.PrefetchUseful, res.LLC.Accuracy(), res.LLC.Coverage())
+	fmt.Printf("engine: proposed %d issued %d discarded %d (safe-crossing %d, P=%.3f)\n",
+		res.Engine.Proposed, res.Engine.Issued, res.Engine.DiscardedBoundary,
+		res.Engine.DiscardedSafe, res.Engine.DiscardProbability())
+	fmt.Printf("TLB: L1 %d/%d L2 %d/%d walks %d\n",
+		res.TLBL1Hits, res.TLBL1Misses, res.TLBL2Hits, res.TLBL2Misses, res.Walks)
+	fmt.Printf("DRAM: reads %d writes %d row-hit %.2f\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHitRate())
+}

@@ -1,0 +1,93 @@
+// Command ptrace records workload generators into compact binary traces
+// (PSAT format) and inspects existing trace files. Recorded traces replay in
+// psim via its -trace flag, making the simulator fully trace-driven.
+//
+// Usage:
+//
+//	ptrace -record milc.psat -workload milc -n 1000000
+//	ptrace -info milc.psat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "output trace file to record into")
+		workload = flag.String("workload", "", "workload to record (see psim -workloads)")
+		n        = flag.Uint64("n", 1_000_000, "accesses to record")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		info     = flag.String("info", "", "trace file to summarise")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if *workload == "" {
+			fmt.Fprintln(os.Stderr, "ptrace: -record requires -workload")
+			os.Exit(2)
+		}
+		w, err := trace.ByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw := trace.NewWriter(f)
+		got, err := trace.Record(tw, w.New(*seed), *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("recorded %d accesses of %s into %s (%d bytes, %.2f B/access)\n",
+			got, w.Name, *record, st.Size(), float64(st.Size())/float64(got))
+
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r := trace.NewFileReader(f)
+		var a trace.Access
+		var count, writes, instrs uint64
+		minV, maxV := ^uint64(0), uint64(0)
+		for r.Next(&a) {
+			count++
+			instrs += uint64(a.Gap) + 1
+			if a.Write {
+				writes++
+			}
+			if uint64(a.VAddr) < minV {
+				minV = uint64(a.VAddr)
+			}
+			if uint64(a.VAddr) > maxV {
+				maxV = uint64(a.VAddr)
+			}
+		}
+		if err := r.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("accesses:      %d (%d writes, %.1f%%)\n", count, writes,
+			float64(writes)/float64(count)*100)
+		fmt.Printf("instructions:  %d\n", instrs)
+		fmt.Printf("vaddr range:   %#x .. %#x\n", minV, maxV)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

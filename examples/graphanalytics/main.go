@@ -1,0 +1,68 @@
+// Graph analytics walkthrough: run the GAP road-graph workloads under the
+// original and page-size-aware SPP, reproducing the paper's observation that
+// graph workloads with fine-grain (4KB) patterns gain little from 2MB-grain
+// indexing while still profiting from safe boundary crossing — and that
+// tc.road is the canonical case where PSA-2MB backfires.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	graphs := trace.BySuite(trace.SuiteGAP)
+	cfg := sim.DefaultConfig()
+	opt := sim.RunOpt{Warmup: 200_000, Instructions: 600_000, Seed: 7, Samples: 4}
+
+	variants := []core.Variant{core.Original, core.PSA, core.PSA2MB, core.PSASD}
+
+	type key struct {
+		w string
+		v core.Variant
+	}
+	results := make(map[key]sim.Result)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for _, w := range graphs {
+		for _, v := range variants {
+			wg.Add(1)
+			go func(w trace.Workload, v core.Variant) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				res, err := sim.Run(cfg, sim.PrefSpec{Base: "spp", Variant: v}, w, opt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				mu.Lock()
+				results[key{w.Name, v}] = res
+				mu.Unlock()
+			}(w, v)
+		}
+	}
+	wg.Wait()
+
+	fmt.Println("GAP road graphs under SPP — speedup % over SPP original")
+	fmt.Printf("%-12s %8s %8s %8s %10s\n", "graph", "PSA", "PSA-2MB", "PSA-SD", "2MB-pages")
+	for _, w := range graphs {
+		base := results[key{w.Name, core.Original}].IPC
+		pct := func(v core.Variant) float64 {
+			return (results[key{w.Name, v}].IPC/base - 1) * 100
+		}
+		fmt.Printf("%-12s %8.1f %8.1f %8.1f %9.0f%%\n",
+			w.Name, pct(core.PSA), pct(core.PSA2MB), pct(core.PSASD),
+			results[key{w.Name, core.Original}].Frac2MFinal*100)
+	}
+	fmt.Println("\ntc.road's tight 4KB-grain reuse makes 2MB-grain indexing generalise")
+	fmt.Println("unrelated patterns into shared table entries; the set-dueling composite")
+	fmt.Println("detects this and keeps the 4KB-indexed competitor enabled.")
+}

@@ -1,0 +1,471 @@
+// Package cache implements the set-associative cache substrate: tag arrays
+// with LRU replacement, Miss Status Holding Registers (MSHRs) that bound
+// outstanding misses and merge requests to in-flight blocks, prefetch fills
+// with per-line provenance bits (used by the paper's set-dueling annotation),
+// and observer hooks through which the prefetching engine in internal/core
+// watches accesses and receives usefulness feedback.
+//
+// Timing model: Access computes a completion cycle by chaining through the
+// next-level Port. Resource contention (MSHR occupancy, lower-level banks and
+// buses) is modelled with next-free times, which preserves queueing behaviour
+// while letting the simulator skip idle cycles.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ReplPolicy selects the replacement policy of a cache.
+type ReplPolicy uint8
+
+// Replacement policies. The paper's evaluation uses LRU at every level; the
+// alternatives exist to show the page-size machinery is replacement-agnostic.
+const (
+	// ReplLRU is least-recently-used (the evaluation default, Table I).
+	ReplLRU ReplPolicy = iota
+	// ReplSRRIP is static re-reference interval prediction (2-bit RRPV).
+	ReplSRRIP
+	// ReplRandom picks victims pseudo-randomly.
+	ReplRandom
+)
+
+// String implements fmt.Stringer.
+func (p ReplPolicy) String() string {
+	switch p {
+	case ReplSRRIP:
+		return "srrip"
+	case ReplRandom:
+		return "random"
+	}
+	return "lru"
+}
+
+// line is one cache block's state.
+type line struct {
+	block      mem.Addr // block-aligned address (tag + index)
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by a prefetch and not yet demanded
+	prefID     uint8
+	core       uint8     // core that triggered the fill
+	rrpv       uint8     // SRRIP re-reference prediction value
+	readyAt    mem.Cycle // fill completion; hits before this merge with the fill
+	lru        uint64
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name        string
+	Sets, Ways  int
+	Latency     mem.Cycle // tag+data access latency
+	MSHREntries int
+
+	// Replacement selects the victim policy (LRU by default).
+	Replacement ReplPolicy
+
+	// PromoteLatency enables prefetch-to-demand MSHR promotion: a demand
+	// that merges with an in-flight *prefetch* fill re-issues the request
+	// downstream at demand priority and completes at the earlier of the
+	// prefetch's promised fill and the re-issued demand path (bounded below
+	// by issue + Latency + PromoteLatency when there is no next level).
+	// Zero disables promotion. Merges with in-flight demand fills are never
+	// accelerated.
+	PromoteLatency mem.Cycle
+}
+
+// Stats aggregates a cache's counters.
+type Stats struct {
+	Hits, Misses uint64 // all request types
+	DemandHits   uint64
+	DemandMisses uint64
+
+	PrefetchIssued  uint64 // prefetch requests that allocated an MSHR here
+	PrefetchUseful  uint64 // demand hits on prefetched lines
+	PrefetchLate    uint64 // demand merged with an in-flight prefetch fill
+	PrefetchUnused  uint64 // prefetched lines evicted without a demand hit
+	PrefetchDropped uint64 // prefetches dropped for lack of a free MSHR entry
+
+	Writebacks uint64
+
+	// DemandLatencySum accumulates completion−issue for demand accesses so
+	// Figure 10's access-latency metric can be derived.
+	DemandLatencySum uint64
+	DemandCount      uint64
+}
+
+// MPKI returns demand misses per kilo-instruction given an instruction count.
+func (s *Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.DemandMisses) / float64(instructions) * 1000
+}
+
+// AvgDemandLatency returns the mean demand access latency in cycles.
+func (s *Stats) AvgDemandLatency() float64 {
+	if s.DemandCount == 0 {
+		return 0
+	}
+	return float64(s.DemandLatencySum) / float64(s.DemandCount)
+}
+
+// Accuracy returns useful/(useful+unused) prefetches, the paper's prefetching
+// accuracy metric. Late prefetches count as useful.
+func (s *Stats) Accuracy() float64 {
+	denom := s.PrefetchUseful + s.PrefetchLate + s.PrefetchUnused
+	if denom == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUseful+s.PrefetchLate) / float64(denom)
+}
+
+// Coverage returns the fraction of would-be demand misses eliminated by
+// prefetching: useful / (useful + demand misses).
+func (s *Stats) Coverage() float64 {
+	denom := float64(s.PrefetchUseful) + float64(s.DemandMisses)
+	if denom == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUseful) / denom
+}
+
+// AccessInfo is what an Observer sees for each access processed by the cache.
+type AccessInfo struct {
+	Req  *mem.Request
+	Hit  bool
+	At   mem.Cycle // issue cycle
+	Done mem.Cycle // completion cycle
+	Set  int       // set index of the accessed block
+}
+
+// Observer receives access and prefetch-feedback events. The prefetching
+// engine (internal/core) implements it; all methods are optional via the
+// embeddable NopObserver.
+type Observer interface {
+	// OnAccess fires for every request the cache processes (after hit/miss
+	// resolution). Prefetch requests do not generate OnAccess.
+	OnAccess(info AccessInfo)
+	// OnPrefetchUseful fires when a demand access hits a prefetched line.
+	// core is the core that issued the prefetch (relevant at a shared LLC).
+	OnPrefetchUseful(block mem.Addr, prefID uint8, core int)
+	// OnPrefetchUnused fires when a prefetched line is evicted untouched.
+	OnPrefetchUnused(block mem.Addr, prefID uint8, core int)
+}
+
+// NopObserver implements Observer with no-ops; embed it to implement a
+// subset of the interface.
+type NopObserver struct{}
+
+// OnAccess implements Observer.
+func (NopObserver) OnAccess(AccessInfo) {}
+
+// OnPrefetchUseful implements Observer.
+func (NopObserver) OnPrefetchUseful(mem.Addr, uint8, int) {}
+
+// OnPrefetchUnused implements Observer.
+func (NopObserver) OnPrefetchUnused(mem.Addr, uint8, int) {}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg   Config
+	lines []line // sets × ways
+	tick  uint64
+
+	// mshrFree holds the next-free cycle of each MSHR entry. A request that
+	// finds every entry busy stalls until the earliest one frees — this is
+	// how MSHR pressure throttles both demands and prefetches (Fig. 12A).
+	mshrFree []mem.Cycle
+
+	next     mem.Port
+	observer Observer
+
+	rng uint64 // state for ReplRandom
+
+	Stats Stats
+}
+
+// New creates a cache over the given next level. next may be nil for leaf
+// testing (misses then cost only the local latency).
+func New(cfg Config, next mem.Port) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry %d×%d", cfg.Name, cfg.Sets, cfg.Ways))
+	}
+	if cfg.MSHREntries <= 0 {
+		panic(fmt.Sprintf("cache %s: MSHR entries must be positive", cfg.Name))
+	}
+	return &Cache{
+		cfg:      cfg,
+		lines:    make([]line, cfg.Sets*cfg.Ways),
+		mshrFree: make([]mem.Cycle, cfg.MSHREntries),
+		next:     next,
+		rng:      uint64(len(cfg.Name))*0x9e3779b97f4a7c15 + 1,
+	}
+}
+
+// SetObserver attaches the access/feedback observer.
+func (c *Cache) SetObserver(o Observer) { c.observer = o }
+
+// Name returns the configured cache name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Sets returns the number of sets (used for set-dueling leader mapping).
+func (c *Cache) Sets() int { return c.cfg.Sets }
+
+// SetIndex returns the set index for an address.
+func (c *Cache) SetIndex(a mem.Addr) int {
+	return int(mem.BlockNumber(a)) % c.cfg.Sets
+}
+
+func (c *Cache) setLines(set int) []line {
+	return c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+}
+
+func (c *Cache) find(block mem.Addr) *line {
+	set := c.setLines(c.SetIndex(block))
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports whether block is present (valid) in the cache, including
+// lines whose fill is still in flight.
+func (c *Cache) Contains(block mem.Addr) bool {
+	return c.find(mem.BlockAlign(block)) != nil
+}
+
+// InFlight reports whether block is present but its fill has not completed by
+// cycle at.
+func (c *Cache) InFlight(block mem.Addr, at mem.Cycle) bool {
+	l := c.find(mem.BlockAlign(block))
+	return l != nil && l.readyAt > at
+}
+
+// allocMSHR reserves the earliest-free MSHR entry at or after `at` and
+// returns the cycle at which the miss may proceed. The entry is tentatively
+// held; the caller must release it by storing the final completion time.
+func (c *Cache) allocMSHR(at mem.Cycle) (idx int, start mem.Cycle) {
+	best := 0
+	for i, f := range c.mshrFree {
+		if f <= at {
+			return i, at
+		}
+		if f < c.mshrFree[best] {
+			best = i
+		}
+	}
+	return best, c.mshrFree[best]
+}
+
+// victim picks the replacement victim in a set: an invalid way if any,
+// otherwise per the configured policy.
+func (c *Cache) victim(set []line) *line {
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+	}
+	switch c.cfg.Replacement {
+	case ReplSRRIP:
+		// Find a distant-re-reference line, aging the set until one exists.
+		for {
+			for i := range set {
+				if set[i].rrpv >= 3 {
+					return &set[i]
+				}
+			}
+			for i := range set {
+				set[i].rrpv++
+			}
+		}
+	case ReplRandom:
+		c.rng = c.rng*6364136223846793005 + 1442695040888963407
+		return &set[int(c.rng>>33)%len(set)]
+	default:
+		v := &set[0]
+		for i := range set {
+			if set[i].lru < v.lru {
+				v = &set[i]
+			}
+		}
+		return v
+	}
+}
+
+// touch updates replacement state on a hit.
+func (c *Cache) touch(l *line) {
+	c.tick++
+	l.lru = c.tick
+	l.rrpv = 0
+}
+
+// fill installs block into the cache with the given fill-completion time,
+// evicting (and writing back) the victim. The writeback is injected at the
+// triggering access's present time `now`, not at the future fill time:
+// requests are processed in program order, and future-stamped traffic would
+// poison the monotonic next-free state of shared downstream resources.
+func (c *Cache) fill(block mem.Addr, readyAt, now mem.Cycle, req *mem.Request) {
+	set := c.setLines(c.SetIndex(block))
+	v := c.victim(set)
+	if v.valid {
+		if v.prefetched {
+			c.Stats.PrefetchUnused++
+			if c.observer != nil {
+				c.observer.OnPrefetchUnused(v.block, v.prefID, int(v.core))
+			}
+		}
+		if v.dirty {
+			c.Stats.Writebacks++
+			if c.next != nil {
+				wb := &mem.Request{PAddr: v.block, Type: mem.Writeback, Core: req.Core}
+				c.next.Access(wb, now) // occupies downstream bandwidth
+			}
+		}
+	}
+	c.tick++
+	*v = line{
+		block:      block,
+		valid:      true,
+		dirty:      req.Type == mem.Store || req.Type == mem.Writeback,
+		prefetched: req.Type == mem.Prefetch,
+		prefID:     req.PrefID,
+		core:       uint8(req.Core),
+		rrpv:       2, // SRRIP long re-reference insertion
+		readyAt:    readyAt,
+		lru:        c.tick,
+	}
+}
+
+// Access implements mem.Port. It resolves hit/miss, models MSHR occupancy and
+// merging, fills on miss, and returns the completion cycle. Prefetch requests
+// follow the same path but never notify OnAccess, hit-drop silently, and — at
+// a level where FillL2 is false (L2 directing the fill to the LLC) — the
+// caller should use AccessNoFill instead.
+func (c *Cache) Access(req *mem.Request, at mem.Cycle) mem.Cycle {
+	return c.access(req, at, true)
+}
+
+// AccessNoFill behaves like Access but does not install the block in this
+// cache on a miss: the request still occupies an MSHR entry here and fills
+// every level below. This models L2 prefetches whose confidence directs the
+// block into the LLC only.
+func (c *Cache) AccessNoFill(req *mem.Request, at mem.Cycle) mem.Cycle {
+	return c.access(req, at, false)
+}
+
+func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle {
+	block := mem.BlockAlign(req.PAddr)
+	demand := req.Type.IsDemand() || req.Type == mem.PageWalk
+
+	if req.Type == mem.Writeback {
+		// Writebacks update in place on hit or forward below; they carry no
+		// completion dependence for the core.
+		if l := c.find(block); l != nil {
+			l.dirty = true
+			c.touch(l)
+			return at + c.cfg.Latency
+		}
+		if c.next != nil {
+			return c.next.Access(req, at+c.cfg.Latency)
+		}
+		return at + c.cfg.Latency
+	}
+
+	lookupDone := at + c.cfg.Latency
+	if l := c.find(block); l != nil {
+		done := lookupDone
+		merged := l.readyAt > at // fill still in flight: MSHR merge semantics
+		if merged && l.readyAt > done {
+			done = l.readyAt
+			if l.prefetched && demand && c.cfg.PromoteLatency > 0 && c.next != nil &&
+				l.readyAt-lookupDone > c.cfg.PromoteLatency {
+				// The prefetch is scheduled further out than a fresh demand
+				// path: promote it by re-issuing the request downstream as a
+				// demand. The re-issue consumes real downstream capacity
+				// (mild traffic overcount, but promotion is rare — only
+				// deeply queued prefetches qualify), so promotion can never
+				// manufacture bandwidth.
+				re := *req
+				if promoted := c.next.Access(&re, lookupDone); promoted < done {
+					done = promoted
+					l.readyAt = promoted
+				}
+			}
+		}
+		c.touch(l)
+		if req.Type == mem.Store {
+			l.dirty = true
+		}
+		if req.Type == mem.Prefetch {
+			// Prefetching an already-present block is a silent drop.
+			return done
+		}
+		c.Stats.Hits++
+		if demand {
+			c.Stats.DemandHits++
+			c.Stats.DemandLatencySum += uint64(done - at)
+			c.Stats.DemandCount++
+			if l.prefetched {
+				l.prefetched = false
+				if merged {
+					c.Stats.PrefetchLate++
+				} else {
+					c.Stats.PrefetchUseful++
+				}
+				if c.observer != nil {
+					c.observer.OnPrefetchUseful(block, l.prefID, int(l.core))
+				}
+			}
+		}
+		if c.observer != nil {
+			c.observer.OnAccess(AccessInfo{Req: req, Hit: true, At: at, Done: done, Set: c.SetIndex(block)})
+		}
+		return done
+	}
+
+	// Miss path: take an MSHR entry (stalling if all are busy), forward the
+	// request below, and fill on return. Prefetches never stall demands: a
+	// quarter of the MSHR entries is reserved for demand misses, and a
+	// prefetch that cannot allocate outside the reserve is dropped, so a
+	// lookahead burst cannot head-block the demand stream.
+	if req.Type == mem.Prefetch {
+		free := 0
+		for _, f := range c.mshrFree {
+			if f <= lookupDone {
+				free++
+			}
+		}
+		if free <= c.cfg.MSHREntries/4 {
+			c.Stats.PrefetchDropped++
+			return lookupDone
+		}
+	}
+	idx, start := c.allocMSHR(lookupDone)
+	c.Stats.Misses++
+	if demand {
+		c.Stats.DemandMisses++
+	}
+	if req.Type == mem.Prefetch {
+		c.Stats.PrefetchIssued++
+	}
+	done := start
+	if c.next != nil {
+		done = c.next.Access(req, start)
+	}
+	c.mshrFree[idx] = done
+	if fillHere {
+		c.fill(block, done, start, req)
+	}
+	if demand {
+		c.Stats.DemandLatencySum += uint64(done - at)
+		c.Stats.DemandCount++
+	}
+	if req.Type != mem.Prefetch && c.observer != nil {
+		c.observer.OnAccess(AccessInfo{Req: req, Hit: false, At: at, Done: done, Set: c.SetIndex(block)})
+	}
+	return done
+}

@@ -1,0 +1,226 @@
+// Package cpu models the out-of-order core: a 4-wide fetch/retire pipeline
+// over a reorder buffer whose size bounds memory-level parallelism. Loads
+// complete when the memory system returns their data; non-memory instructions
+// and stores (drained through a store buffer) complete immediately. The model
+// advances cycle by cycle but jumps over idle gaps, which makes long-latency
+// phases cheap to simulate while preserving ROB-limited MLP — the property
+// through which prefetching timeliness becomes IPC.
+package cpu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config describes the core (Table I: 4-wide, 352-entry ROB).
+type Config struct {
+	Width    int
+	ROBSize  int
+	StoreBuf int // store-buffer entries; stores drain to memory through it
+}
+
+// DefaultConfig mirrors Table I, with a 64-entry store buffer.
+func DefaultConfig() Config { return Config{Width: 4, ROBSize: 352, StoreBuf: 64} }
+
+// MemSystem is the core's view of the memory hierarchy: translate and
+// access, returning the data-ready cycle. The sim package implements it with
+// MMU + L1D (+ optional L1 prefetcher).
+type MemSystem interface {
+	Access(pc, vaddr mem.Addr, write bool, at mem.Cycle) mem.Cycle
+}
+
+// InstrFetcher is an optional extension of MemSystem: when implemented, the
+// core fetches each new instruction block through it (the L1I path), and
+// front-end misses stall instruction delivery.
+type InstrFetcher interface {
+	FetchInstr(pc mem.Addr, at mem.Cycle) mem.Cycle
+}
+
+// Core executes a trace against a memory system.
+type Core struct {
+	cfg Config
+	ms  MemSystem
+
+	// rob is a ring buffer of completion cycles.
+	rob        []mem.Cycle
+	robKind    []uint8 // 0 other, 1 load, 2 store
+	head, size int
+
+	// ifetch is the optional front end (nil: ideal instruction delivery).
+	ifetch InstrFetcher
+	// lastIBlock is the last instruction block fetched; fetchReady gates
+	// instruction delivery after an L1I miss.
+	lastIBlock mem.Addr
+	fetchReady mem.Cycle
+
+	// sbFree holds each store-buffer entry's next-free cycle. A store
+	// retires once a slot is available; the slot is held until the write
+	// completes in memory, so sustained store misses throttle to the memory
+	// system's service rate instead of injecting unbounded traffic.
+	sbFree []mem.Cycle
+
+	// Cycle is the current simulated time; Instructions the retired count.
+	Cycle        mem.Cycle
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	// StallLoad / StallStore / StallOther attribute head-of-ROB stall cycles
+	// (debug accounting).
+	StallLoad, StallStore, StallOther mem.Cycle
+}
+
+// New creates a core over the memory system.
+func New(cfg Config, ms MemSystem) *Core {
+	if cfg.Width <= 0 || cfg.ROBSize <= 0 {
+		panic("cpu: bad config")
+	}
+	sb := cfg.StoreBuf
+	if sb <= 0 {
+		sb = 64
+	}
+	c := &Core{cfg: cfg, ms: ms, rob: make([]mem.Cycle, cfg.ROBSize),
+		robKind: make([]uint8, cfg.ROBSize), sbFree: make([]mem.Cycle, sb)}
+	if f, ok := ms.(InstrFetcher); ok {
+		c.ifetch = f
+	}
+	return c
+}
+
+func (c *Core) push(done mem.Cycle) { c.pushKind(done, 0) }
+
+func (c *Core) pushKind(done mem.Cycle, kind uint8) {
+	c.rob[(c.head+c.size)%c.cfg.ROBSize] = done
+	c.robKind[(c.head+c.size)%c.cfg.ROBSize] = kind
+	c.size++
+}
+
+// IPC returns retired instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.Cycle == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycle)
+}
+
+// Run executes up to maxInstructions from the reader (the trace may end
+// sooner) and returns the number retired. Run may be called repeatedly (e.g.
+// a warm-up run followed by a measured run with fresh counters).
+func (c *Core) Run(r trace.Reader, maxInstructions uint64) uint64 {
+	return c.RunUntil(r, maxInstructions, 1<<62)
+}
+
+// RunUntil executes until maxInstructions retire, the trace drains, or the
+// core's clock reaches untilCycle — whichever comes first. The cycle bound is
+// what keeps multiple cores time-aligned on shared resources: the multi-core
+// driver advances all cores epoch by epoch, so no core's requests run far
+// ahead of its peers' clocks.
+func (c *Core) RunUntil(r trace.Reader, maxInstructions uint64, untilCycle mem.Cycle) uint64 {
+	start := c.Instructions
+	var acc trace.Access
+	havePending := false
+	gap := 0
+	fetchedAll := false
+
+	for c.Instructions-start < maxInstructions && c.Cycle < untilCycle {
+		// Retire up to Width completed instructions from the ROB head.
+		retired := 0
+		for c.size > 0 && retired < c.cfg.Width && c.rob[c.head] <= c.Cycle {
+			c.head = (c.head + 1) % c.cfg.ROBSize
+			c.size--
+			retired++
+			c.Instructions++
+			if c.Instructions-start >= maxInstructions {
+				return c.Instructions - start
+			}
+		}
+
+		// Fetch up to Width instructions into the ROB.
+		fetched := 0
+		for !fetchedAll && c.size < c.cfg.ROBSize && fetched < c.cfg.Width {
+			if !havePending {
+				if !r.Next(&acc) {
+					fetchedAll = true
+					break
+				}
+				gap = acc.Gap
+				havePending = true
+			}
+			if c.fetchReady > c.Cycle {
+				break // front-end stall: an instruction block is in flight
+			}
+			if c.ifetch != nil {
+				if blk := mem.BlockAlign(acc.PC); blk != c.lastIBlock {
+					c.lastIBlock = blk
+					if done := c.ifetch.FetchInstr(acc.PC, c.Cycle); done > c.Cycle {
+						c.fetchReady = done
+						break
+					}
+				}
+			}
+			if gap > 0 {
+				gap--
+				c.push(c.Cycle) // non-memory op: completes immediately
+			} else {
+				if acc.Write {
+					// Stores allocate a store-buffer slot; they retire as
+					// soon as a slot is free and hold it until the write
+					// completes in memory.
+					c.Stores++
+					slot, start := 0, c.sbFree[0]
+					for i, f := range c.sbFree {
+						if f < start {
+							slot, start = i, f
+						}
+					}
+					if start < c.Cycle {
+						start = c.Cycle
+					}
+					c.sbFree[slot] = c.ms.Access(acc.PC, acc.VAddr, true, start)
+					done := start
+					c.pushKind(done, 2)
+					havePending = false
+					fetched++
+					continue
+				}
+				done := c.ms.Access(acc.PC, acc.VAddr, acc.Write, c.Cycle)
+				c.Loads++
+				c.pushKind(done, 1)
+				havePending = false
+			}
+			fetched++
+		}
+
+		if fetchedAll && c.size == 0 {
+			break // trace drained
+		}
+		if retired == 0 && fetched == 0 && c.size > 0 {
+			// Stalled on the ROB head (or a full ROB): jump to its completion,
+			// or to front-end readiness if that comes first.
+			next := c.rob[c.head]
+			if c.fetchReady > c.Cycle && (c.fetchReady < next || c.size < c.cfg.ROBSize) {
+				if c.fetchReady < next {
+					next = c.fetchReady
+				}
+			}
+			if next > c.Cycle {
+				switch c.robKind[c.head] {
+				case 1:
+					c.StallLoad += next - c.Cycle
+				case 2:
+					c.StallStore += next - c.Cycle
+				default:
+					c.StallOther += next - c.Cycle
+				}
+				c.Cycle = next
+				continue
+			}
+		}
+		if retired == 0 && fetched == 0 && c.size == 0 && c.fetchReady > c.Cycle {
+			c.Cycle = c.fetchReady // empty machine waiting on the front end
+			continue
+		}
+		c.Cycle++
+	}
+	return c.Instructions - start
+}

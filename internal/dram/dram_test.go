@@ -1,0 +1,125 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func read(addr mem.Addr) *mem.Request { return &mem.Request{PAddr: addr, Type: mem.Load} }
+
+func TestBurstCyclesFromRate(t *testing.T) {
+	d := New(DefaultConfig())
+	// 8 transfers at 3200 MT/s under a 4GHz core: 10 cycles per block.
+	if d.BurstCycles() != 10 {
+		t.Errorf("BurstCycles = %d, want 10", d.BurstCycles())
+	}
+	cfg := DefaultConfig()
+	cfg.TransferMTps = 400
+	if got := New(cfg).BurstCycles(); got != 80 {
+		t.Errorf("400MT/s BurstCycles = %d, want 80", got)
+	}
+}
+
+func TestRowHitVsMissLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	first := d.Access(read(0x0), 0)
+	wantFirst := cfg.RowMissLatency + d.BurstCycles()
+	if first != wantFirst {
+		t.Errorf("first access done at %d, want %d", first, wantFirst)
+	}
+	// Next block in the same row: row hit, but serialized behind the bus.
+	second := d.Access(read(0x40), 0)
+	if second <= first {
+		t.Errorf("bus not serialized: second=%d first=%d", second, first)
+	}
+	if d.Stats.RowHits != 1 || d.Stats.RowMisses != 1 {
+		t.Errorf("row stats = %+v", d.Stats)
+	}
+}
+
+func TestSequentialStreamMostlyRowHits(t *testing.T) {
+	d := New(DefaultConfig())
+	for i := 0; i < 512; i++ {
+		d.Access(read(mem.Addr(i)*mem.BlockSize), mem.Cycle(i*1000))
+	}
+	if rate := d.Stats.RowHitRate(); rate < 0.9 {
+		t.Errorf("sequential stream row-hit rate = %v, want > 0.9", rate)
+	}
+}
+
+func TestRandomStreamMostlyRowMisses(t *testing.T) {
+	d := New(DefaultConfig())
+	x := uint64(12345)
+	for i := 0; i < 512; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := mem.Addr(x) % (1 << 30)
+		d.Access(read(mem.BlockAlign(addr)), mem.Cycle(i*1000))
+	}
+	if rate := d.Stats.RowHitRate(); rate > 0.3 {
+		t.Errorf("random stream row-hit rate = %v, want < 0.3", rate)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	// Back-to-back requests at cycle 0 serialize on the bus: completion of
+	// the Nth is at least N * burst cycles.
+	d := New(DefaultConfig())
+	var last mem.Cycle
+	const n = 100
+	for i := 0; i < n; i++ {
+		last = d.Access(read(mem.Addr(i)*mem.BlockSize), 0)
+	}
+	if min := mem.Cycle(n) * d.BurstCycles(); last < min {
+		t.Errorf("100 simultaneous accesses completed at %d, want ≥ %d", last, min)
+	}
+}
+
+func TestLowerRateIsSlower(t *testing.T) {
+	fast := New(DefaultConfig())
+	slowCfg := DefaultConfig()
+	slowCfg.TransferMTps = 400
+	slow := New(slowCfg)
+	var fDone, sDone mem.Cycle
+	for i := 0; i < 64; i++ {
+		a := mem.Addr(i) * mem.BlockSize
+		fDone = fast.Access(read(a), 0)
+		sDone = slow.Access(read(a), 0)
+	}
+	if sDone <= fDone {
+		t.Errorf("400MT/s (%d) not slower than 3200MT/s (%d)", sDone, fDone)
+	}
+}
+
+func TestWriteCounted(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(&mem.Request{PAddr: 0x0, Type: mem.Writeback}, 0)
+	if d.Stats.Writes != 1 || d.Stats.Reads != 0 {
+		t.Errorf("stats = %+v", d.Stats)
+	}
+}
+
+func TestChannelInterleave(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	d := New(cfg)
+	ch0, _, _ := d.mapAddr(0x0)
+	ch1, _, _ := d.mapAddr(0x40)
+	if ch0 == ch1 {
+		t.Error("consecutive blocks mapped to the same channel")
+	}
+	// Two channels double the effective bandwidth for a streaming pattern.
+	var last mem.Cycle
+	for i := 0; i < 64; i++ {
+		last = d.Access(read(mem.Addr(i)*mem.BlockSize), 0)
+	}
+	single := New(DefaultConfig())
+	var lastSingle mem.Cycle
+	for i := 0; i < 64; i++ {
+		lastSingle = single.Access(read(mem.Addr(i)*mem.BlockSize), 0)
+	}
+	if last >= lastSingle {
+		t.Errorf("2-channel (%d) not faster than 1-channel (%d)", last, lastSingle)
+	}
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Checker is implemented by experiment results that can verify the paper's
+// qualitative claims about themselves. Check returns one error per violated
+// claim; an empty slice means the figure's shape reproduced.
+//
+// The checks encode the *verdicts* of EXPERIMENTS.md: orderings, signs, and
+// coarse magnitude bands — never absolute numbers.
+type Checker interface {
+	Check() []error
+}
+
+// Check implements Checker for Figure 2: discard probabilities are
+// meaningful (≈0.1 means for the lookahead prefetchers, visible tails).
+func (r *Fig2Result) Check() []error {
+	var errs []error
+	for _, base := range sim.BaseNames() {
+		s, ok := r.PerPrefetcher[base]
+		if !ok {
+			errs = append(errs, fmt.Errorf("fig2: missing prefetcher %s", base))
+			continue
+		}
+		if s.Mean < 0 || s.Mean > 1 || s.Max > 1 {
+			errs = append(errs, fmt.Errorf("fig2: %s probabilities out of range: %+v", base, s))
+		}
+	}
+	if spp := r.PerPrefetcher["spp"]; spp.Mean < 0.02 {
+		errs = append(errs, fmt.Errorf("fig2: SPP mean discard probability %.3f too low — the missed opportunity should be ≈1 in 10", spp.Mean))
+	}
+	// The 1-in-2 tail needs the full workload population to show up.
+	if spp := r.PerPrefetcher["spp"]; spp.N >= 20 && spp.Max < 0.3 {
+		errs = append(errs, fmt.Errorf("fig2: SPP max %.3f lacks the ≈1-in-2 tail", spp.Max))
+	}
+	return errs
+}
+
+// Check implements Checker for Figure 3: 2MB-heavy workloads stay high for
+// the whole run; soplex stays low.
+func (r *Fig3Result) Check() []error {
+	var errs []error
+	for _, name := range []string{"lbm", "milc", "libquantum", "bwaves", "fotonik3d_s", "roms_s", "pr.road"} {
+		series := r.Series[name]
+		if len(series) == 0 {
+			errs = append(errs, fmt.Errorf("fig3: missing series %s", name))
+			continue
+		}
+		for _, f := range series {
+			if f < 0.6 {
+				errs = append(errs, fmt.Errorf("fig3: %s dipped to %.2f — should stay 2MB-heavy", name, f))
+				break
+			}
+		}
+	}
+	if sp := r.Series["soplex"]; len(sp) > 0 && sp[len(sp)-1] > 0.5 {
+		errs = append(errs, fmt.Errorf("fig3: soplex ended at %.2f — should be 4KB-dominated", sp[len(sp)-1]))
+	}
+	return errs
+}
+
+// Check implements Checker for Figures 4 and 5: Magic ≥ original in geomean;
+// in the Figure 5 form, Magic-2MB clearly wins milc.
+func (r *MagicResult) Check() []error {
+	var errs []error
+	if r.Geomean["SPP-PSA-Magic"] < r.Geomean["SPP"]-0.5 {
+		errs = append(errs, fmt.Errorf("fig%d: Magic geomean %.1f%% below SPP %.1f%%", r.Figure,
+			r.Geomean["SPP-PSA-Magic"], r.Geomean["SPP"]))
+	}
+	if r.Figure == 5 {
+		m2 := r.Speedup["SPP-PSA-Magic-2MB"]["milc"]
+		m1 := r.Speedup["SPP-PSA-Magic"]["milc"]
+		if m2 <= m1 {
+			errs = append(errs, fmt.Errorf("fig5: milc Magic-2MB %.1f%% not above Magic %.1f%%", m2, m1))
+		}
+	}
+	// soplex is 4KB-bound: Magic ≈ original.
+	d := r.Speedup["SPP-PSA-Magic"]["soplex"] - r.Speedup["SPP"]["soplex"]
+	if d > 3 || d < -3 {
+		errs = append(errs, fmt.Errorf("fig%d: soplex Magic−SPP gap %.1f points — should be flat", r.Figure, d))
+	}
+	return errs
+}
+
+// Check implements Checker for Figure 8 (and the per-prefetcher variant
+// studies): PSA non-negative in geomean; SD not far below the best variant.
+func (r *Fig8Result) Check() []error {
+	var errs []error
+	if r.Geomean["PSA"] < -0.5 {
+		errs = append(errs, fmt.Errorf("fig8(%s): PSA geomean %.1f%% negative", r.Base, r.Geomean["PSA"]))
+	}
+	best := r.Geomean["PSA"]
+	if r.Geomean["PSA-2MB"] > best {
+		best = r.Geomean["PSA-2MB"]
+	}
+	if r.Geomean["PSA-SD"] < best-2 {
+		errs = append(errs, fmt.Errorf("fig8(%s): PSA-SD %.1f%% trails the best variant %.1f%% by >2 points",
+			r.Base, r.Geomean["PSA-SD"], best))
+	}
+	return errs
+}
+
+// Check implements Checker for Figure 9: every prefetcher's PSA is
+// non-negative overall and BOP's three variants coincide.
+func (r *Fig9Result) Check() []error {
+	var errs []error
+	for _, base := range sim.BaseNames() {
+		if g := r.Geomean[base]["PSA"]["ALL"]; g < -0.5 {
+			errs = append(errs, fmt.Errorf("fig9: %s PSA overall %.1f%% negative", base, g))
+		}
+	}
+	b := r.Geomean["bop"]
+	if b["PSA"]["ALL"] != b["PSA-2MB"]["ALL"] || b["PSA"]["ALL"] != b["PSA-SD"]["ALL"] {
+		errs = append(errs, fmt.Errorf("fig9: BOP variants differ (%v / %v / %v) — must be identical",
+			b["PSA"]["ALL"], b["PSA-2MB"]["ALL"], b["PSA-SD"]["ALL"]))
+	}
+	return errs
+}
+
+// Check implements Checker for Figure 11: SD-Proposed beats SD-Standard for
+// SPP and VLDP, and ISO storage is no substitute for page-size awareness.
+func (r *Fig11Result) Check() []error {
+	var errs []error
+	for _, base := range []string{"spp", "vldp"} {
+		if r.Geomean[base]["SD-Proposed"] < r.Geomean[base]["SD-Standard"]-0.5 {
+			errs = append(errs, fmt.Errorf("fig11: %s SD-Proposed %.1f%% below SD-Standard %.1f%%",
+				base, r.Geomean[base]["SD-Proposed"], r.Geomean[base]["SD-Standard"]))
+		}
+	}
+	for _, base := range []string{"spp", "vldp", "ppf"} {
+		if iso := r.Geomean[base]["ISO-Storage"]; iso > r.Geomean[base]["SD-Proposed"] {
+			errs = append(errs, fmt.Errorf("fig11: %s ISO storage %.1f%% beats SD-Proposed %.1f%% — capacity must not substitute awareness",
+				base, iso, r.Geomean[base]["SD-Proposed"]))
+		}
+	}
+	return errs
+}
+
+// Check implements Checker for Figure 13: IPCP++ ≥ IPCP, and the strongest
+// page-size-aware L2 prefetcher beats the IPCP class.
+func (r *Fig13Result) Check() []error {
+	var errs []error
+	if r.Speedup["IPCP++"] < r.Speedup["IPCP"]-0.005 {
+		errs = append(errs, fmt.Errorf("fig13: IPCP++ %.3f below IPCP %.3f", r.Speedup["IPCP++"], r.Speedup["IPCP"]))
+	}
+	bestL2 := 0.0
+	for _, n := range []string{"SPP-PSA-SD", "SPP-PSA", "PPF-PSA", "PPF-PSA-SD"} {
+		if r.Speedup[n] > bestL2 {
+			bestL2 = r.Speedup[n]
+		}
+	}
+	if bestL2 < r.Speedup["IPCP++"] {
+		errs = append(errs, fmt.Errorf("fig13: best page-size-aware L2 prefetcher %.3f below IPCP++ %.3f", bestL2, r.Speedup["IPCP++"]))
+	}
+	if r.Speedup["BOP-PSA"] != r.Speedup["BOP-PSA-SD"] {
+		errs = append(errs, fmt.Errorf("fig13: BOP PSA and PSA-SD diverged"))
+	}
+	return errs
+}
+
+// Check implements Checker for Figures 14/15: most mixes gain (median ≥ 0)
+// for the SPP schemes.
+func (r *MultiResult) Check() []error {
+	var errs []error
+	for _, s := range []string{"SPP-PSA", "SPP-PSA-SD"} {
+		if sum, ok := r.Summary[s]; ok && sum.Median < -1 {
+			errs = append(errs, fmt.Errorf("fig%d: %s median %.1f%% — most mixes should gain",
+				14+(r.Cores/8), s, sum.Median))
+		}
+	}
+	return errs
+}
+
+// CheckAll runs r's checks if it implements Checker, returning a summary
+// error count.
+func CheckAll(r Renderer) []error {
+	if c, ok := r.(Checker); ok {
+		return c.Check()
+	}
+	return nil
+}

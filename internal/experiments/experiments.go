@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the missed-opportunity probability (Fig. 2), page-usage
+// profiles (Fig. 3), the Magic studies (Figs. 4-5), the per-workload and
+// per-suite speedups (Figs. 8-9), the metric breakdown (Fig. 10), the
+// selection-logic comparison (Fig. 11), the constrained sweeps (Fig. 12), the
+// L1D-prefetching comparison (Fig. 13), and the multi-core distributions
+// (Figs. 14-15). Each experiment returns a structured result with a Render
+// method producing the textual equivalent of the paper's plot.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	Config       sim.Config
+	Warmup       uint64
+	Instructions uint64
+	Seed         uint64
+	Parallelism  int
+	// Workloads overrides the workload set (default: the 80 intensive ones).
+	Workloads []trace.Workload
+	// Mixes is the number of random multi-core mixes (Figs. 14-15).
+	Mixes int
+	// Base selects the prefetcher for per-prefetcher studies (fig8); "spp"
+	// when empty.
+	Base string
+}
+
+// DefaultOptions returns a laptop-scale configuration: long enough for the
+// shapes to be stable, short enough that regenerating a figure takes minutes.
+func DefaultOptions() Options {
+	return Options{
+		Config:       sim.DefaultConfig(),
+		Warmup:       200_000,
+		Instructions: 1_000_000,
+		Seed:         1,
+		Parallelism:  8,
+		Mixes:        20,
+	}
+}
+
+func (o Options) workloads() []trace.Workload {
+	if len(o.Workloads) != 0 {
+		return o.Workloads
+	}
+	return trace.Intensive()
+}
+
+func (o Options) runOpt() sim.RunOpt {
+	return sim.RunOpt{
+		Warmup:       o.Warmup,
+		Instructions: o.Instructions,
+		Seed:         o.Seed,
+		Samples:      8,
+	}
+}
+
+// job is one simulation in a parallel batch.
+type job struct {
+	Workload trace.Workload
+	Spec     sim.PrefSpec
+}
+
+// runBatch executes all jobs with bounded parallelism, returning results in
+// job order.
+func runBatch(o Options, jobs []job) ([]sim.Result, error) {
+	results := make([]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	par := o.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = sim.Run(o.Config, j.Spec, j.Workload, o.runOpt())
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// speedupPct converts an IPC pair into percent speedup.
+func speedupPct(base, variant float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (variant/base - 1) * 100
+}
+
+// Names of experiments, for the CLI.
+var Names = []string{
+	"fig2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "nonintensive", "table1",
+	"ablation", "extensions",
+}
+
+// Renderer is any experiment result that can print itself.
+type Renderer interface {
+	Render() string
+}
+
+// Run dispatches an experiment by name.
+func Run(name string, o Options) (Renderer, error) {
+	switch strings.ToLower(name) {
+	case "fig2", "2":
+		return Figure2(o)
+	case "fig3", "3":
+		return Figure3(o)
+	case "fig4", "4":
+		return Figure4(o)
+	case "fig5", "5":
+		return Figure5(o)
+	case "fig8", "8":
+		if o.Base != "" && o.Base != "spp" {
+			return variantStudy(o, o.Base)
+		}
+		return Figure8(o)
+	case "fig9", "9":
+		return Figure9(o)
+	case "fig10", "10":
+		return Figure10(o)
+	case "fig11", "11":
+		return Figure11(o)
+	case "fig12", "12":
+		return Figure12(o)
+	case "fig13", "13":
+		return Figure13(o)
+	case "fig14", "14":
+		return Figure14(o)
+	case "fig15", "15":
+		return Figure15(o)
+	case "nonintensive":
+		return NonIntensive(o)
+	case "ablation":
+		return Ablation(o)
+	case "extensions":
+		return Extensions(o)
+	case "table1":
+		return TableI(o)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+		name, strings.Join(Names, ", "))
+}
+
+// TableIResult is the machine configuration (Table I).
+type TableIResult struct{ Text string }
+
+// Render implements Renderer.
+func (t *TableIResult) Render() string { return t.Text }
+
+// TableI reports the simulated system configuration.
+func TableI(o Options) (*TableIResult, error) {
+	return &TableIResult{Text: "Table I — system configuration\n" + o.Config.String() + "\n"}, nil
+}
+
+// nineBenchmarks are the workloads of Figures 3, 4, and 5.
+var nineBenchmarks = []string{
+	"lbm", "milc", "libquantum", "mcf", "soplex", "bwaves",
+	"fotonik3d_s", "roms_s", "pr.road",
+}
+
+// WorkloadsByName resolves a list of workload names against the catalogue.
+func WorkloadsByName(names []string) ([]trace.Workload, error) {
+	out := make([]trace.Workload, 0, len(names))
+	for _, n := range names {
+		w, err := trace.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// representative10 are the Figure 10 workloads (the paper's selection,
+// mapped onto our catalogue names).
+var representative10 = []string{
+	"bwaves", "milc", "GemsFDTD", "astar", "gcc_s", "cactuBSSN_s",
+	"fotonik3d_s", "pr.road", "graph_analytics",
+	"qmm_fp_15", "qmm_int_906", "qmm_fp_67", "qmm_fp_95", "qmm_fp_112",
+}
+
+// sortedSuites returns the suite grouping used by Figure 9: SPEC (06+17),
+// GAP+ML+CLOUD, QMM, ALL.
+func suiteOf(w trace.Workload) string {
+	switch w.Suite {
+	case trace.SuiteSPEC06, trace.SuiteSPEC17:
+		return "SPEC"
+	case trace.SuiteGAP, trace.SuiteML, trace.SuiteCloud:
+		return "GAP+ML+CLOUD"
+	default:
+		return "QMM"
+	}
+}
+
+func suiteOrder() []string { return []string{"SPEC", "GAP+ML+CLOUD", "QMM", "ALL"} }

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is implemented by results that can expose a single labelled series
+// for charting (bars in the HTML report).
+type Series interface {
+	Series() (title string, labels []string, values []float64)
+}
+
+// Series implements the charting hook for Figure 8: the variant geomeans.
+func (r *Fig8Result) Series() (string, []string, []float64) {
+	labels := []string{"PSA", "PSA-2MB", "PSA-SD"}
+	values := make([]float64, len(labels))
+	for i, l := range labels {
+		values[i] = r.Geomean[l]
+	}
+	return fmt.Sprintf("%s variants — geomean speedup %% over original", strings.ToUpper(r.Base)),
+		labels, values
+}
+
+// Series implements the charting hook for Figure 13.
+func (r *Fig13Result) Series() (string, []string, []float64) {
+	values := make([]float64, len(r.Order))
+	for i, n := range r.Order {
+		values[i] = (r.Speedup[n] - 1) * 100
+	}
+	return "L1D vs page-size-aware L2 prefetching — % over no-prefetch", r.Order, values
+}
+
+// Series implements the charting hook for Figure 2 (per-prefetcher means).
+func (r *Fig2Result) Series() (string, []string, []float64) {
+	labels := make([]string, 0, len(r.PerPrefetcher))
+	for b := range r.PerPrefetcher {
+		labels = append(labels, b)
+	}
+	sort.Strings(labels)
+	values := make([]float64, len(labels))
+	for i, b := range labels {
+		values[i] = r.PerPrefetcher[b].Mean * 100
+	}
+	return "mean %% of prefetches discarded at 4KB boundary while in a 2MB page", labels, values
+}
+
+// Series implements the charting hook for the ablation study.
+func (r *AblationResult) Series() (string, []string, []float64) {
+	values := make([]float64, len(r.Order))
+	for i, n := range r.Order {
+		values[i] = r.Geomean[n]
+	}
+	return "SPP-PSA geomean speedup % per model configuration", r.Order, values
+}
+
+// Series implements the charting hook for the multi-core distributions
+// (medians).
+func (r *MultiResult) Series() (string, []string, []float64) {
+	values := make([]float64, len(r.Schemes))
+	for i, s := range r.Schemes {
+		values[i] = r.Summary[s].Median
+	}
+	return fmt.Sprintf("%d-core median weighted speedup %% over original", r.Cores),
+		r.Schemes, values
+}
+
+// svgBars renders a minimal horizontal bar chart. Negative values extend
+// left of the zero axis.
+func svgBars(labels []string, values []float64) string {
+	const (
+		rowH     = 22
+		chartW   = 560
+		labelW   = 150
+		pad      = 6
+		zeroFrac = 0.25 // zero axis position when negatives exist
+	)
+	maxAbs := 1e-9
+	hasNeg := false
+	for _, v := range values {
+		a := v
+		if a < 0 {
+			hasNeg = true
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	zeroX := float64(labelW)
+	if hasNeg {
+		zeroX = labelW + zeroFrac*(chartW-labelW)
+	}
+	scale := (float64(chartW) - zeroX - 60) / maxAbs
+
+	var b strings.Builder
+	h := len(labels)*rowH + 2*pad
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" xmlns="http://www.w3.org/2000/svg" font-family="monospace" font-size="12">`,
+		chartW, h)
+	fmt.Fprintf(&b, `<line x1="%.0f" y1="0" x2="%.0f" y2="%d" stroke="#999"/>`, zeroX, zeroX, h)
+	for i, v := range values {
+		y := pad + i*rowH
+		w := v * scale
+		x := zeroX
+		color := "#4878a8"
+		if w < 0 {
+			x = zeroX + w
+			w = -w
+			color = "#a85048"
+		}
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`, y+14, html.EscapeString(labels[i]))
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"/>`,
+			x, y+3, w, rowH-8, color)
+		tx := zeroX + v*scale + 4
+		if v < 0 {
+			tx = zeroX + 4
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d">%.1f</text>`, tx, y+14, v)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// WriteHTMLReport renders a set of experiment results as a single static
+// HTML page: an SVG bar chart where the result exposes a Series, and the
+// textual rendering verbatim below it.
+func WriteHTMLReport(w io.Writer, title string, results []struct {
+	Name   string
+	Result Renderer
+}) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>%s</title>",
+		html.EscapeString(title))
+	b.WriteString(`<style>body{font-family:sans-serif;max-width:900px;margin:2em auto}
+pre{background:#f6f6f6;padding:1em;overflow-x:auto}h2{border-bottom:1px solid #ccc}</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>%s</h1>", html.EscapeString(title))
+	for _, r := range results {
+		fmt.Fprintf(&b, "<h2>%s</h2>", html.EscapeString(r.Name))
+		if s, ok := r.Result.(Series); ok {
+			chartTitle, labels, values := s.Series()
+			fmt.Fprintf(&b, "<p>%s</p>%s", html.EscapeString(chartTitle), svgBars(labels, values))
+		}
+		fmt.Fprintf(&b, "<pre>%s</pre>", html.EscapeString(r.Result.Render()))
+		if errs := CheckAll(r.Result); errs != nil {
+			fmt.Fprintf(&b, "<p><b>shape violations:</b> %d</p>", len(errs))
+		} else if _, ok := r.Result.(Checker); ok {
+			b.WriteString("<p>shape checks: PASS</p>")
+		}
+	}
+	b.WriteString("</body></html>")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

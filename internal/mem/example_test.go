@@ -1,0 +1,40 @@
+package mem_test
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// The geometry helpers decompose physical addresses the way the prefetchers
+// do: a block sits at some offset inside its residing page, and the paper's
+// whole question is whether speculation may leave that page.
+func ExamplePageSize() {
+	addr := mem.Addr(0x40000FC0) // last block of the first 4KB page
+
+	fmt.Println(mem.BlockOffsetInPage(addr, mem.Page4K))
+	fmt.Println(mem.BlockOffsetInPage(addr, mem.Page2M))
+	next := addr + mem.BlockSize
+	fmt.Println(mem.SamePage(addr, next, mem.Page4K))
+	fmt.Println(mem.SamePage(addr, next, mem.Page2M))
+	// Output:
+	// 63
+	// 63
+	// false
+	// true
+}
+
+// PPM's storage cost follows from the number of concurrently supported page
+// sizes.
+func ExamplePageSize_ppmBits() {
+	fmt.Printf("%d page sizes -> %d bits per L1D MSHR entry\n",
+		mem.NumPageSizes, mem.PPMBits)
+	for _, s := range []mem.PageSize{mem.Page4K, mem.Page2M, mem.Page1G} {
+		fmt.Printf("%s: %d blocks per page\n", s, s.Blocks())
+	}
+	// Output:
+	// 3 page sizes -> 2 bits per L1D MSHR entry
+	// 4KB: 64 blocks per page
+	// 2MB: 32768 blocks per page
+	// 1GB: 16777216 blocks per page
+}

@@ -1,0 +1,179 @@
+// Package mem defines the address-space primitives shared by every component
+// of the simulator: byte addresses, cache-block and page geometry, page sizes,
+// access types, and the memory request that flows through the hierarchy.
+//
+// The simulator models an x86-64-like system with 64-byte cache blocks and
+// three concurrently supported page sizes: 4KB, 2MB (the pair the paper
+// evaluates, since Linux THP transparently provides only 2MB pages), and 1GB
+// (explicit hugetlbfs-style mappings, exercising the paper's "Additional Page
+// Sizes" extension of PPM).
+package mem
+
+import "fmt"
+
+// Addr is a byte address. Whether it is virtual or physical is determined by
+// context; the two spaces never mix inside a single structure.
+type Addr uint64
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle int64
+
+// Geometry constants for blocks and pages.
+const (
+	BlockBits = 6 // 64-byte cache blocks
+	BlockSize = 1 << BlockBits
+
+	PageBits4K = 12
+	PageSize4K = 1 << PageBits4K
+	PageBits2M = 21
+	PageSize2M = 1 << PageBits2M
+	PageBits1G = 30
+	PageSize1G = 1 << PageBits1G
+
+	// BlocksPerPage4K and BlocksPerPage2M bound the per-page block offsets,
+	// and therefore the delta ranges a spatial prefetcher can observe:
+	// deltas within a 4KB page range -63..+63, within a 2MB page
+	// -32767..+32767 (Section III-C of the paper).
+	BlocksPerPage4K = PageSize4K / BlockSize // 64
+	BlocksPerPage2M = PageSize2M / BlockSize // 32768
+)
+
+// PageSize identifies one of the concurrently supported page sizes.
+type PageSize uint8
+
+const (
+	// Page4K is a standard 4KB page.
+	Page4K PageSize = iota
+	// Page2M is a 2MB large page (Linux THP).
+	Page2M
+	// Page1G is a 1GB large page. Linux provides no transparent support for
+	// it (hugetlbfs mappings are explicit), so the evaluation's THP policies
+	// never choose it; the machinery supports it end to end per the paper's
+	// "Additional Page Sizes" discussion — with three concurrent sizes the
+	// PPM needs ⌈log₂ 3⌉ = 2 bits per L1D MSHR entry.
+	Page1G
+)
+
+// NumPageSizes is the number of concurrently supported page sizes; PPM needs
+// ⌈log₂ NumPageSizes⌉ bits per L1D MSHR entry (Section IV-A).
+const NumPageSizes = 3
+
+// PPMBits is the per-MSHR-entry storage PPM requires for this configuration.
+const PPMBits = 2
+
+// Bits returns the number of page-offset bits for the size.
+func (s PageSize) Bits() uint {
+	switch s {
+	case Page2M:
+		return PageBits2M
+	case Page1G:
+		return PageBits1G
+	}
+	return PageBits4K
+}
+
+// Bytes returns the page size in bytes.
+func (s PageSize) Bytes() Addr { return 1 << s.Bits() }
+
+// Blocks returns the number of cache blocks per page of this size.
+func (s PageSize) Blocks() int { return int(s.Bytes() >> BlockBits) }
+
+// String implements fmt.Stringer.
+func (s PageSize) String() string {
+	switch s {
+	case Page2M:
+		return "2MB"
+	case Page1G:
+		return "1GB"
+	}
+	return "4KB"
+}
+
+// BlockAlign clears the block-offset bits of a.
+func BlockAlign(a Addr) Addr { return a &^ (BlockSize - 1) }
+
+// BlockNumber returns the cache-block number of a (address divided by 64).
+func BlockNumber(a Addr) Addr { return a >> BlockBits }
+
+// PageBase returns the base address of the page of size s containing a.
+func PageBase(a Addr, s PageSize) Addr { return a &^ (s.Bytes() - 1) }
+
+// PageNumber returns the page number of a for page size s.
+func PageNumber(a Addr, s PageSize) Addr { return a >> s.Bits() }
+
+// BlockOffsetInPage returns the index (in blocks) of a within its page of
+// size s: 0..63 for 4KB pages, 0..32767 for 2MB pages.
+func BlockOffsetInPage(a Addr, s PageSize) int {
+	return int((a >> BlockBits) & Addr(s.Blocks()-1))
+}
+
+// SamePage reports whether a and b lie in the same page of size s.
+func SamePage(a, b Addr, s PageSize) bool {
+	return PageNumber(a, s) == PageNumber(b, s)
+}
+
+// AccessType classifies a memory request.
+type AccessType uint8
+
+const (
+	// Load is a demand data read.
+	Load AccessType = iota
+	// Store is a demand data write (write-allocate).
+	Store
+	// Fetch is an instruction fetch.
+	Fetch
+	// PageWalk is a page-table-walker read.
+	PageWalk
+	// Prefetch is a prefetcher-generated read.
+	Prefetch
+	// Writeback is a dirty-eviction write to the next level.
+	Writeback
+)
+
+// String implements fmt.Stringer.
+func (t AccessType) String() string {
+	switch t {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Fetch:
+		return "fetch"
+	case PageWalk:
+		return "pagewalk"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	}
+	return fmt.Sprintf("AccessType(%d)", uint8(t))
+}
+
+// IsDemand reports whether the access is a demand reference (load, store, or
+// instruction fetch), as opposed to prefetcher or walker traffic.
+func (t AccessType) IsDemand() bool { return t == Load || t == Store || t == Fetch }
+
+// Request is a memory reference travelling down the hierarchy. Addresses
+// below the L1 are physical; VAddr is carried for bookkeeping only.
+type Request struct {
+	PAddr Addr // physical address (block granularity is enforced by caches)
+	VAddr Addr // originating virtual address, 0 for walker traffic
+	PC    Addr // program counter of the triggering instruction
+	Type  AccessType
+	Core  int
+
+	// PageSize is the size of the physical page containing PAddr, taken
+	// from the address-translation metadata at L1 miss time. It is
+	// meaningful only when PageSizeKnown is set: this is the single bit the
+	// Page-size Propagation Module (PPM) adds to each L1D MSHR entry.
+	PageSize      PageSize
+	PageSizeKnown bool
+
+	// FillL2 directs a Prefetch request's fill level: true fills the L2
+	// (and below), false fills only the LLC. Ignored for demand requests.
+	FillL2 bool
+
+	// PrefID annotates which competing prefetcher issued a Prefetch
+	// request (set-dueling annotation bit, Section IV-B2). Zero otherwise.
+	PrefID uint8
+}

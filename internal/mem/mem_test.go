@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeGeometry(t *testing.T) {
+	if Page4K.Bytes() != 4096 {
+		t.Errorf("Page4K.Bytes() = %d, want 4096", Page4K.Bytes())
+	}
+	if Page2M.Bytes() != 2<<20 {
+		t.Errorf("Page2M.Bytes() = %d, want %d", Page2M.Bytes(), 2<<20)
+	}
+	if Page4K.Blocks() != 64 {
+		t.Errorf("Page4K.Blocks() = %d, want 64", Page4K.Blocks())
+	}
+	if Page2M.Blocks() != 32768 {
+		t.Errorf("Page2M.Blocks() = %d, want 32768", Page2M.Blocks())
+	}
+	if Page4K.String() != "4KB" || Page2M.String() != "2MB" {
+		t.Errorf("String() = %q, %q", Page4K.String(), Page2M.String())
+	}
+}
+
+func TestBlockAlign(t *testing.T) {
+	cases := []struct{ in, want Addr }{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{0xdeadbeef, 0xdeadbec0},
+	}
+	for _, c := range cases {
+		if got := BlockAlign(c.in); got != c.want {
+			t.Errorf("BlockAlign(%#x) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBlockOffsetInPage(t *testing.T) {
+	// Last block of a 4KB page has offset 63; first block of the next page 0.
+	a := Addr(PageSize4K - BlockSize)
+	if got := BlockOffsetInPage(a, Page4K); got != 63 {
+		t.Errorf("offset = %d, want 63", got)
+	}
+	if got := BlockOffsetInPage(a+BlockSize, Page4K); got != 0 {
+		t.Errorf("offset = %d, want 0", got)
+	}
+	// Same address within a 2MB page keeps counting.
+	if got := BlockOffsetInPage(a+BlockSize, Page2M); got != 64 {
+		t.Errorf("2MB offset = %d, want 64", got)
+	}
+	last2M := Addr(PageSize2M - BlockSize)
+	if got := BlockOffsetInPage(last2M, Page2M); got != 32767 {
+		t.Errorf("2MB last offset = %d, want 32767", got)
+	}
+}
+
+func TestSamePage(t *testing.T) {
+	a := Addr(0x1000 - 64) // last block of page 0
+	b := Addr(0x1000)      // first block of page 1
+	if SamePage(a, b, Page4K) {
+		t.Error("blocks straddling a 4KB boundary reported as same 4KB page")
+	}
+	if !SamePage(a, b, Page2M) {
+		t.Error("blocks within one 2MB region reported as different 2MB pages")
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	want := map[AccessType]string{
+		Load: "load", Store: "store", Fetch: "fetch",
+		PageWalk: "pagewalk", Prefetch: "prefetch", Writeback: "writeback",
+	}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), s)
+		}
+	}
+	if AccessType(99).String() != "AccessType(99)" {
+		t.Errorf("unknown type String() = %q", AccessType(99).String())
+	}
+}
+
+func TestIsDemand(t *testing.T) {
+	for _, ty := range []AccessType{Load, Store, Fetch} {
+		if !ty.IsDemand() {
+			t.Errorf("%v.IsDemand() = false, want true", ty)
+		}
+	}
+	for _, ty := range []AccessType{PageWalk, Prefetch, Writeback} {
+		if ty.IsDemand() {
+			t.Errorf("%v.IsDemand() = true, want false", ty)
+		}
+	}
+}
+
+// Property: for any address and page size, the page base is aligned, contains
+// the address, and the block offset is within range.
+func TestPageDecompositionProperties(t *testing.T) {
+	f := func(raw uint64, big bool) bool {
+		a := Addr(raw)
+		s := Page4K
+		if big {
+			s = Page2M
+		}
+		base := PageBase(a, s)
+		if base%s.Bytes() != 0 {
+			return false
+		}
+		if a < base || a >= base+s.Bytes() {
+			return false
+		}
+		off := BlockOffsetInPage(a, s)
+		if off < 0 || off >= s.Blocks() {
+			return false
+		}
+		// Reconstruct the block address from page base + offset.
+		return base+Addr(off)*BlockSize == BlockAlign(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: page numbers partition the address space consistently with
+// SamePage.
+func TestPageNumberConsistency(t *testing.T) {
+	f := func(a, b uint64, big bool) bool {
+		s := Page4K
+		if big {
+			s = Page2M
+		}
+		same := PageNumber(Addr(a), s) == PageNumber(Addr(b), s)
+		return same == SamePage(Addr(a), Addr(b), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

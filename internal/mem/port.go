@@ -1,0 +1,16 @@
+package mem
+
+// Port is the timing interface every memory component implements: submit a
+// request at a given cycle and learn when its data is available. Caches,
+// DRAM, and the page-table walker's target all present this interface, which
+// lets the hierarchy be assembled as a chain of Ports.
+type Port interface {
+	// Access submits req at cycle `at` and returns the completion cycle.
+	Access(req *Request, at Cycle) Cycle
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(req *Request, at Cycle) Cycle
+
+// Access implements Port.
+func (f PortFunc) Access(req *Request, at Cycle) Cycle { return f(req, at) }

@@ -1,0 +1,135 @@
+package bop
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func ctxAt(addr mem.Addr) prefetch.Context {
+	return prefetch.Context{Addr: mem.BlockAlign(addr), Type: mem.Load, PageSize: mem.Page4K}
+}
+
+func TestOffsetList(t *testing.T) {
+	offs := offsetList(0)
+	if offs[0] != 1 {
+		t.Errorf("first offset = %d, want 1", offs[0])
+	}
+	for _, o := range offs {
+		m := o
+		for _, p := range []int{2, 3, 5} {
+			for m%p == 0 {
+				m /= p
+			}
+		}
+		if m != 1 {
+			t.Errorf("offset %d has a prime factor > 5", o)
+		}
+	}
+	// Michaud's list has 52 entries in 1..256.
+	if len(offs) != 52 {
+		t.Errorf("offset list length = %d, want 52", len(offs))
+	}
+	if got := offsetList(10); len(got) != 10 {
+		t.Errorf("limited list length = %d, want 10", len(got))
+	}
+}
+
+func TestLearnsDominantOffset(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	// A pure +4-block stream: offset 4 should win a learning phase.
+	for i := 0; i < 20000; i++ {
+		p.Train(ctxAt(base + mem.Addr(i*4)*mem.BlockSize))
+	}
+	if p.BestOffset() != 4 {
+		t.Errorf("BestOffset = %d, want 4", p.BestOffset())
+	}
+	if !p.Enabled() {
+		t.Error("prefetching disabled despite a strong pattern")
+	}
+}
+
+func TestIssuesBestOffset(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	for i := 0; i < 20000; i++ {
+		p.Train(ctxAt(base + mem.Addr(i*2)*mem.BlockSize))
+	}
+	var cands []prefetch.Candidate
+	trigger := base + 40000*2*mem.BlockSize
+	_ = trigger
+	tr := base
+	p.Operate(ctxAt(tr), func(c prefetch.Candidate) { cands = append(cands, c) })
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1 (degree 1)", len(cands))
+	}
+	want := tr + mem.Addr(p.BestOffset())*mem.BlockSize
+	if cands[0].Addr != want {
+		t.Errorf("candidate %#x, want %#x", cands[0].Addr, want)
+	}
+	if !cands[0].FillL2 {
+		t.Error("BOP candidate should fill L2")
+	}
+}
+
+func TestDisablesOnRandomTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RoundMax = 10
+	p := New(cfg, mem.PageBits4K)
+	x := uint64(777)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		p.Train(ctxAt(mem.Addr(x) & 0x3fffffffc0))
+	}
+	if p.Enabled() {
+		t.Error("prefetching stayed enabled on random traffic")
+	}
+	var cands []prefetch.Candidate
+	p.Operate(ctxAt(0x40000000), func(c prefetch.Candidate) { cands = append(cands, c) })
+	if len(cands) != 0 {
+		t.Errorf("disabled BOP issued %d candidates", len(cands))
+	}
+}
+
+func TestGenLimitRespected(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	for i := 0; i < 20000; i++ {
+		p.Train(ctxAt(base + mem.Addr(i*16)*mem.BlockSize))
+	}
+	// Trigger near the end of a 2MB region: candidate must not escape it.
+	trigger := base + mem.PageSize2M - mem.BlockSize
+	var cands []prefetch.Candidate
+	p.Operate(ctxAt(trigger), func(c prefetch.Candidate) { cands = append(cands, c) })
+	for _, c := range cands {
+		if !mem.SamePage(c.Addr, trigger, mem.Page2M) {
+			t.Errorf("candidate %#x escaped the 2MB region", c.Addr)
+		}
+	}
+}
+
+func TestRegionBitsIrrelevant(t *testing.T) {
+	// BOP-PSA-2MB ≡ BOP-PSA: identical construction regardless of regionBits.
+	a := New(DefaultConfig(), mem.PageBits4K)
+	b := New(DefaultConfig(), mem.PageBits2M)
+	base := mem.Addr(0x40000000)
+	for i := 0; i < 20000; i++ {
+		c := ctxAt(base + mem.Addr(i*8)*mem.BlockSize)
+		a.Train(c)
+		b.Train(c)
+	}
+	if a.BestOffset() != b.BestOffset() {
+		t.Errorf("regionBits changed BOP behaviour: %d vs %d", a.BestOffset(), b.BestOffset())
+	}
+}
+
+func TestNonDemandIgnored(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	var called bool
+	p.Operate(prefetch.Context{Addr: 0x1000, Type: mem.Writeback}, func(prefetch.Candidate) { called = true })
+	if called {
+		t.Error("non-demand access proposed candidates")
+	}
+}

@@ -1,0 +1,140 @@
+package ipcp
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestConstantStrideClass(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := mem.Addr(0x400100)
+	base := mem.Addr(0x7f0000000000)
+	var cands []Candidate
+	for i := 0; i < 8; i++ {
+		cands = p.Operate(pc, base+mem.Addr(i*3)*mem.BlockSize, nil)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates on constant stride")
+	}
+	for _, c := range cands {
+		if c.Class != ClassCS {
+			t.Errorf("class = %v, want CS", c.Class)
+		}
+	}
+	want := base + mem.Addr(7*3+3)*mem.BlockSize
+	if cands[0].VAddr != want {
+		t.Errorf("first candidate %#x, want %#x", cands[0].VAddr, want)
+	}
+	if len(cands) != DefaultConfig().CSDegree {
+		t.Errorf("degree = %d, want %d", len(cands), DefaultConfig().CSDegree)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := mem.Addr(0x400200)
+	base := mem.Addr(0x7f0000100000)
+	var cands []Candidate
+	for i := 0; i < 8; i++ {
+		cands = p.Operate(pc, base-mem.Addr(i*2)*mem.BlockSize, nil)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates on negative stride")
+	}
+	want := base - mem.Addr(7*2+2)*mem.BlockSize
+	if cands[0].VAddr != want {
+		t.Errorf("candidate %#x, want %#x", cands[0].VAddr, want)
+	}
+}
+
+func TestGlobalStreamClass(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := mem.Addr(0x400300)
+	base := mem.Addr(0x7f0000200000)
+	var cands []Candidate
+	// Dense unit-stride sweep through a 4KB region triggers GS.
+	for i := 0; i < 20; i++ {
+		cands = p.Operate(pc, base+mem.Addr(i)*mem.BlockSize, nil)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates on dense stream")
+	}
+	sawGS := false
+	for _, c := range cands {
+		if c.Class == ClassGS {
+			sawGS = true
+		}
+	}
+	if !sawGS {
+		t.Errorf("dense unit stream not classified GS: %+v", cands)
+	}
+	if len(cands) < DefaultConfig().CSDegree {
+		t.Errorf("GS degree %d not deeper than CS %d", len(cands), DefaultConfig().CSDegree)
+	}
+}
+
+func TestComplexStrideClass(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := mem.Addr(0x400400)
+	base := mem.Addr(0x7f0000300000)
+	// Repeating stride sequence +1,+7 is not constant but is signature-
+	// predictable.
+	strides := []int{1, 7}
+	off := 0
+	var cands []Candidate
+	for i := 0; i < 40; i++ {
+		cands = p.Operate(pc, base+mem.Addr(off)*mem.BlockSize, nil)
+		off += strides[i%2]
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates on periodic stride sequence")
+	}
+	sawCPLX := false
+	for _, c := range cands {
+		if c.Class == ClassCPLX {
+			sawCPLX = true
+		}
+	}
+	if !sawCPLX {
+		t.Errorf("periodic strides not classified CPLX: %+v", cands)
+	}
+}
+
+func TestDistinctIPsIndependent(t *testing.T) {
+	p := New(DefaultConfig())
+	base := mem.Addr(0x7f0000400000)
+	// Two IPs with different strides interleaved must both be learnable.
+	var c1, c2 []Candidate
+	for i := 0; i < 10; i++ {
+		c1 = p.Operate(0x400500, base+mem.Addr(i*2)*mem.BlockSize, nil)
+		c2 = p.Operate(0x400504, base+0x100000+mem.Addr(i*5)*mem.BlockSize, nil)
+	}
+	if len(c1) == 0 || len(c2) == 0 {
+		t.Fatalf("interleaved IPs not both predicted: %d, %d", len(c1), len(c2))
+	}
+	if c1[0].VAddr != base+mem.Addr(9*2+2)*mem.BlockSize {
+		t.Errorf("IP1 candidate %#x wrong", c1[0].VAddr)
+	}
+	if c2[0].VAddr != base+0x100000+mem.Addr(9*5+5)*mem.BlockSize {
+		t.Errorf("IP2 candidate %#x wrong", c2[0].VAddr)
+	}
+}
+
+func TestSameBlockNoCandidates(t *testing.T) {
+	p := New(DefaultConfig())
+	var cands []Candidate
+	for i := 0; i < 5; i++ {
+		cands = p.Operate(0x400600, 0x7f0000500000, nil)
+	}
+	if len(cands) != 0 {
+		t.Errorf("repeated same-block access produced %d candidates", len(cands))
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassGS.String() != "GS" || ClassCS.String() != "CS" ||
+		ClassCPLX.String() != "CPLX" || ClassNone.String() != "none" {
+		t.Error("Class.String mismatch")
+	}
+}

@@ -1,0 +1,47 @@
+package nextline
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func TestDegreeAndAddresses(t *testing.T) {
+	p := New(3)
+	var got []mem.Addr
+	ctx := prefetch.Context{Addr: 0x40000000, Type: mem.Load}
+	p.Operate(ctx, func(c prefetch.Candidate) { got = append(got, c.Addr) })
+	if len(got) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(got))
+	}
+	for i, a := range got {
+		if want := mem.Addr(0x40000000) + mem.Addr(i+1)*mem.BlockSize; a != want {
+			t.Errorf("candidate %d = %#x, want %#x", i, a, want)
+		}
+	}
+}
+
+func TestDefaultDegree(t *testing.T) {
+	if New(0).Degree != 1 || New(-3).Degree != 1 {
+		t.Error("non-positive degree not defaulted to 1")
+	}
+}
+
+func TestStopsAtGenLimit(t *testing.T) {
+	p := New(4)
+	trigger := mem.Addr(0x40000000) + mem.PageSize2M - 2*mem.BlockSize
+	var got []mem.Addr
+	p.Operate(prefetch.Context{Addr: trigger, Type: mem.Load},
+		func(c prefetch.Candidate) { got = append(got, c.Addr) })
+	if len(got) != 1 {
+		t.Errorf("candidates near the 2MB edge = %d, want 1", len(got))
+	}
+}
+
+func TestNonDemandIgnored(t *testing.T) {
+	p := New(2)
+	p.Operate(prefetch.Context{Addr: 0x1000, Type: mem.Writeback},
+		func(prefetch.Candidate) { t.Fatal("non-demand access proposed") })
+	p.Train(prefetch.Context{}) // stateless no-op must not panic
+}

@@ -1,0 +1,199 @@
+// Package ppf implements Perceptron-based Prefetch Filtering (Bhatia et al.,
+// ISCA 2019): an aggressively configured SPP proposes many candidates, and a
+// hashed perceptron — one weight table per feature — accepts each candidate
+// into the L2, demotes it to the LLC, or rejects it. The perceptron trains
+// online from prefetch outcomes (useful / evicted-unused) and from demand
+// misses that a rejected candidate would have covered.
+package ppf
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/spp"
+)
+
+// numFeatures is the number of perceptron feature tables.
+const numFeatures = 7
+
+// Config sizes PPF.
+type Config struct {
+	SPP           spp.Config // underlying proposer (aggressive thresholds)
+	TableEntries  int        // entries per feature weight table (1024)
+	WeightMax     int        // weight saturation (±31)
+	ThresholdHi   int        // sum ≥ → fill L2
+	ThresholdLo   int        // sum ≥ → fill LLC, else reject
+	TrainMargin   int        // retrain while |sum| below this margin
+	RecordEntries int        // prefetch/reject recovery table entries
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	sppCfg := spp.DefaultConfig()
+	// The proposer runs with thresholds low enough to surface marginal
+	// candidates; the perceptron is the actual gatekeeper.
+	sppCfg.FillThreshold = 0.10
+	sppCfg.LLCThreshold = 0.03
+	sppCfg.MaxLookahead = 12
+	return Config{
+		SPP:           sppCfg,
+		TableEntries:  1024,
+		WeightMax:     31,
+		ThresholdHi:   2,
+		ThresholdLo:   -6,
+		TrainMargin:   20,
+		RecordEntries: 1024,
+	}
+}
+
+// Scale returns a copy of c with table capacities multiplied by k.
+func (c Config) Scale(k int) Config {
+	c.SPP = c.SPP.Scale(k)
+	c.TableEntries *= k
+	c.RecordEntries *= k
+	return c
+}
+
+// record remembers the feature indices of a recent decision so the outcome
+// can train the same weights.
+type record struct {
+	block mem.Addr
+	idx   [numFeatures]int
+	valid bool
+}
+
+// Prefetcher is a PPF instance.
+type Prefetcher struct {
+	cfg Config
+	spp *spp.Prefetcher
+	w   [numFeatures][]int8
+	pft []record // issued prefetches
+	rjt []record // rejected candidates
+}
+
+// New creates a PPF prefetcher; regionBits configures the underlying SPP's
+// Signature Table granularity (PPF itself keys features on 4KB geometry).
+func New(cfg Config, regionBits uint) *Prefetcher {
+	p := &Prefetcher{
+		cfg: cfg,
+		spp: spp.New(cfg.SPP, regionBits),
+		pft: make([]record, cfg.RecordEntries),
+		rjt: make([]record, cfg.RecordEntries),
+	}
+	for i := range p.w {
+		p.w[i] = make([]int8, cfg.TableEntries)
+	}
+	return p
+}
+
+// Factory adapts New to prefetch.Factory.
+func Factory(cfg Config) prefetch.Factory {
+	return func(regionBits uint) prefetch.Prefetcher { return New(cfg, regionBits) }
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "ppf" }
+
+func hash(x uint64, entries int) int {
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return int(x % uint64(entries))
+}
+
+// features derives the perceptron feature indices for a candidate.
+func (p *Prefetcher) features(ctx prefetch.Context, cand mem.Addr, m spp.Meta) [numFeatures]int {
+	n := p.cfg.TableEntries
+	confBucket := int(m.Confidence * 8)
+	return [numFeatures]int{
+		hash(uint64(ctx.PC), n),
+		hash(uint64(ctx.PC)<<4^uint64(m.Depth), n),
+		hash(uint64(mem.BlockOffsetInPage(cand, mem.Page4K)), n),
+		hash(uint64(mem.PageNumber(cand, mem.Page4K))&0xffff, n),
+		hash(uint64(m.Sig), n),
+		hash(uint64(confBucket), n),
+		hash(uint64(int64(m.Delta))+1<<20, n),
+	}
+}
+
+func (p *Prefetcher) sum(idx [numFeatures]int) int {
+	s := 0
+	for i, j := range idx {
+		s += int(p.w[i][j])
+	}
+	return s
+}
+
+func (p *Prefetcher) adjust(idx [numFeatures]int, up bool) {
+	for i, j := range idx {
+		w := int(p.w[i][j])
+		if up && w < p.cfg.WeightMax {
+			w++
+		} else if !up && w > -p.cfg.WeightMax-1 {
+			w--
+		}
+		p.w[i][j] = int8(w)
+	}
+}
+
+func recIndex(block mem.Addr, entries int) int {
+	return hash(uint64(mem.BlockNumber(block)), entries)
+}
+
+// Operate implements prefetch.Prefetcher.
+func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate)) {
+	p.spp.OperateMeta(ctx, func(c prefetch.Candidate, m spp.Meta) {
+		idx := p.features(ctx, c.Addr, m)
+		s := p.sum(idx)
+		rec := record{block: mem.BlockAlign(c.Addr), idx: idx, valid: true}
+		switch {
+		case s >= p.cfg.ThresholdHi:
+			p.pft[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
+			issue(prefetch.Candidate{Addr: c.Addr, FillL2: true})
+		case s >= p.cfg.ThresholdLo:
+			p.pft[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
+			issue(prefetch.Candidate{Addr: c.Addr, FillL2: false})
+		default:
+			p.rjt[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
+		}
+	})
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ctx prefetch.Context) { p.spp.Train(ctx) }
+
+// PrefetchUseful implements prefetch.FeedbackReceiver: strengthen the weights
+// that accepted a prefetch that turned out useful.
+func (p *Prefetcher) PrefetchUseful(block mem.Addr) {
+	p.spp.PrefetchUseful(block)
+	r := &p.pft[recIndex(block, p.cfg.RecordEntries)]
+	if r.valid && r.block == mem.BlockAlign(block) {
+		if p.sum(r.idx) < p.cfg.TrainMargin {
+			p.adjust(r.idx, true)
+		}
+		r.valid = false
+	}
+}
+
+// PrefetchUnused implements prefetch.FeedbackReceiver: weaken the weights
+// that accepted a prefetch evicted without use.
+func (p *Prefetcher) PrefetchUnused(block mem.Addr) {
+	p.spp.PrefetchUnused(block)
+	r := &p.pft[recIndex(block, p.cfg.RecordEntries)]
+	if r.valid && r.block == mem.BlockAlign(block) {
+		if p.sum(r.idx) > -p.cfg.TrainMargin {
+			p.adjust(r.idx, false)
+		}
+		r.valid = false
+	}
+}
+
+// DemandMiss implements prefetch.FeedbackReceiver: a miss on a block whose
+// candidate was rejected means the perceptron was wrong to reject.
+func (p *Prefetcher) DemandMiss(block mem.Addr) {
+	r := &p.rjt[recIndex(block, p.cfg.RecordEntries)]
+	if r.valid && r.block == mem.BlockAlign(block) {
+		if p.sum(r.idx) < p.cfg.TrainMargin {
+			p.adjust(r.idx, true)
+		}
+		r.valid = false
+	}
+}

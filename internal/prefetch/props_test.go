@@ -1,0 +1,140 @@
+// Package prefetch_test property-tests every prefetcher implementation
+// against the framework contracts: candidates are block-aligned, stay within
+// the 2MB generation region of their trigger, and are never the trigger
+// itself; Train never proposes; implementations tolerate arbitrary access
+// sequences without panicking.
+package prefetch_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/ampm"
+	"repro/internal/prefetch/bop"
+	"repro/internal/prefetch/nextline"
+	"repro/internal/prefetch/ppf"
+	"repro/internal/prefetch/sms"
+	"repro/internal/prefetch/spp"
+	"repro/internal/prefetch/vldp"
+)
+
+// factories lists every prefetcher under test at both indexing granularities.
+func factories() map[string]prefetch.Factory {
+	return map[string]prefetch.Factory{
+		"spp":      spp.Factory(spp.DefaultConfig()),
+		"vldp":     vldp.Factory(vldp.DefaultConfig()),
+		"ppf":      ppf.Factory(ppf.DefaultConfig()),
+		"bop":      bop.Factory(bop.DefaultConfig()),
+		"sms":      sms.Factory(sms.DefaultConfig()),
+		"ampm":     ampm.Factory(ampm.DefaultConfig()),
+		"nextline": nextline.Factory(2),
+	}
+}
+
+// addrFromSeq turns fuzz bytes into a plausible physical block address within
+// a handful of 2MB regions.
+func addrFromSeq(region, off uint16) mem.Addr {
+	base := mem.Addr(0x40000000) + mem.Addr(region%8)<<mem.PageBits2M
+	return base + mem.Addr(off%32768)*mem.BlockSize
+}
+
+func TestCandidateContractAllPrefetchers(t *testing.T) {
+	for name, factory := range factories() {
+		for _, bits := range []uint{mem.PageBits4K, mem.PageBits2M} {
+			name, factory, bits := name, factory, bits
+			t.Run(name, func(t *testing.T) {
+				p := factory(bits)
+				f := func(seq []uint32) bool {
+					for i, raw := range seq {
+						addr := addrFromSeq(uint16(raw>>16), uint16(raw))
+						ctx := prefetch.Context{
+							Addr:     addr,
+							PC:       0x400000 + mem.Addr(raw%7)*4,
+							Type:     mem.Load,
+							PageSize: mem.Page2M,
+							At:       mem.Cycle(i * 10),
+						}
+						ok := true
+						p.Operate(ctx, func(c prefetch.Candidate) {
+							if c.Addr != mem.BlockAlign(c.Addr) {
+								t.Logf("%s: unaligned candidate %#x", name, c.Addr)
+								ok = false
+							}
+							if !prefetch.InGenLimit(addr, c.Addr) {
+								t.Logf("%s: candidate %#x outside 2MB region of %#x", name, c.Addr, addr)
+								ok = false
+							}
+							if c.Addr == addr {
+								t.Logf("%s: proposed the trigger itself", name)
+								ok = false
+							}
+						})
+						if !ok {
+							return false
+						}
+					}
+					return true
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+func TestTrainNeverProposes(t *testing.T) {
+	// Train must build state silently; only Operate proposes. We verify by
+	// interleaving Train calls and ensuring no panic / no state corruption
+	// that would break a subsequent Operate.
+	for name, factory := range factories() {
+		p := factory(mem.PageBits4K)
+		base := mem.Addr(0x40000000)
+		for i := 0; i < 48; i++ {
+			p.Train(prefetch.Context{
+				Addr: base + mem.Addr(i)*mem.BlockSize, Type: mem.Load, PageSize: mem.Page4K,
+			})
+		}
+		n := 0
+		p.Operate(prefetch.Context{
+			Addr: base + 48*mem.BlockSize, Type: mem.Load, PageSize: mem.Page4K,
+		}, func(prefetch.Candidate) { n++ })
+		if name == "spp" || name == "vldp" {
+			if n == 0 {
+				t.Errorf("%s: no proposals after 48 training steps on a unit stride", name)
+			}
+		}
+	}
+}
+
+func TestFeedbackReceiversTolerateUnknownBlocks(t *testing.T) {
+	// Feedback for blocks the prefetcher never issued must be harmless.
+	for name, factory := range factories() {
+		p := factory(mem.PageBits4K)
+		fr, ok := p.(prefetch.FeedbackReceiver)
+		if !ok {
+			continue
+		}
+		for i := 0; i < 100; i++ {
+			fr.PrefetchUseful(mem.Addr(i) * 0x1040)
+			fr.PrefetchUnused(mem.Addr(i) * 0x2080)
+			fr.DemandMiss(mem.Addr(i) * 0x30c0)
+		}
+		_ = name
+	}
+}
+
+func TestInGenLimit(t *testing.T) {
+	base := mem.Addr(0x40000000)
+	if !prefetch.InGenLimit(base, base+mem.PageSize2M-mem.BlockSize) {
+		t.Error("last block of the region rejected")
+	}
+	if prefetch.InGenLimit(base, base+mem.PageSize2M) {
+		t.Error("first block of the next region accepted")
+	}
+	if prefetch.InGenLimit(base, base-mem.BlockSize) {
+		t.Error("block below the region accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package sms
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func ctxAt(addr, pc mem.Addr) prefetch.Context {
+	return prefetch.Context{Addr: mem.BlockAlign(addr), PC: pc, Type: mem.Load, PageSize: mem.Page4K}
+}
+
+// touchRegion replays a fixed footprint (offsets within a region) under one
+// trigger PC.
+func touchRegion(p *Prefetcher, base mem.Addr, pc mem.Addr, offsets []int, issue func(prefetch.Candidate)) {
+	for _, off := range offsets {
+		cb := issue
+		if cb == nil {
+			cb = func(prefetch.Candidate) {}
+		}
+		p.Operate(ctxAt(base+mem.Addr(off)*mem.BlockSize, pc), cb)
+	}
+}
+
+func TestLearnsAndStreamsFootprint(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	pc := mem.Addr(0x400500)
+	footprint := []int{0, 3, 7, 12, 19}
+	regionBytes := mem.Addr(DefaultConfig().RegionBlocks) * mem.BlockSize
+
+	// Train the same footprint over several regions so generations commit
+	// (each new trigger evicts and commits the previous generation).
+	for r := 0; r < 12; r++ {
+		base := mem.Addr(0x40000000) + mem.Addr(r)*regionBytes
+		touchRegion(p, base, pc, footprint, nil)
+	}
+
+	// A fresh region triggered by the same PC+offset must stream the learned
+	// footprint immediately.
+	fresh := mem.Addr(0x40000000) + 100*regionBytes
+	var got []mem.Addr
+	p.Operate(ctxAt(fresh, pc), func(c prefetch.Candidate) { got = append(got, c.Addr) })
+	want := map[mem.Addr]bool{}
+	for _, off := range footprint[1:] { // the trigger itself is not prefetched
+		want[fresh+mem.Addr(off)*mem.BlockSize] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d blocks, want %d: %v", len(got), len(want), got)
+	}
+	for _, a := range got {
+		if !want[a] {
+			t.Errorf("unexpected streamed block %#x", a)
+		}
+	}
+}
+
+func TestDifferentPCsLearnSeparately(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	regionBytes := mem.Addr(DefaultConfig().RegionBlocks) * mem.BlockSize
+	// PC A touches {0,1,2}; PC B touches {0,8,16}.
+	for r := 0; r < 12; r++ {
+		touchRegion(p, mem.Addr(0x40000000)+mem.Addr(2*r)*regionBytes, 0xA00, []int{0, 1, 2}, nil)
+		touchRegion(p, mem.Addr(0x40000000)+mem.Addr(2*r+1)*regionBytes, 0xB00, []int{0, 8, 16}, nil)
+		_ = r
+	}
+	fresh := mem.Addr(0x40000000) + 200*regionBytes
+	var gotA []mem.Addr
+	p.Operate(ctxAt(fresh, 0xA00), func(c prefetch.Candidate) { gotA = append(gotA, c.Addr) })
+	for _, a := range gotA {
+		off := int(mem.BlockNumber(a-fresh)) % DefaultConfig().RegionBlocks
+		if off != 1 && off != 2 {
+			t.Errorf("PC A streamed foreign offset %d", off)
+		}
+	}
+}
+
+func TestSingleAccessGenerationsNotCommitted(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	regionBytes := mem.Addr(DefaultConfig().RegionBlocks) * mem.BlockSize
+	// Touch many regions exactly once: nothing learnable.
+	for r := 0; r < 40; r++ {
+		touchRegion(p, mem.Addr(0x40000000)+mem.Addr(r)*regionBytes, 0xC00, []int{5}, nil)
+	}
+	var got []mem.Addr
+	p.Operate(ctxAt(mem.Addr(0x40000000)+500*regionBytes+5*mem.BlockSize, 0xC00),
+		func(c prefetch.Candidate) { got = append(got, c.Addr) })
+	if len(got) != 0 {
+		t.Errorf("single-access generations streamed %d blocks", len(got))
+	}
+}
+
+func TestGenLimitRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg, mem.PageBits4K)
+	// Train a footprint near the very end of a 2MB region; streaming for a
+	// trigger region that straddles the limit must clip.
+	regionBytes := mem.Addr(cfg.RegionBlocks) * mem.BlockSize
+	for r := 0; r < 12; r++ {
+		base := mem.Addr(0x40000000) + mem.Addr(r)*regionBytes
+		touchRegion(p, base, 0xD00, []int{0, 31}, nil)
+	}
+	// Last region of a 2MB page.
+	last := mem.Addr(0x40000000) + mem.PageSize2M - regionBytes
+	var got []mem.Addr
+	p.Operate(ctxAt(last, 0xD00), func(c prefetch.Candidate) { got = append(got, c.Addr) })
+	for _, a := range got {
+		if !mem.SamePage(a, last, mem.Page2M) {
+			t.Errorf("streamed block %#x escaped the 2MB region", a)
+		}
+	}
+}
+
+func TestTrainOnlyRecords(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	regionBytes := mem.Addr(DefaultConfig().RegionBlocks) * mem.BlockSize
+	for r := 0; r < 12; r++ {
+		base := mem.Addr(0x40000000) + mem.Addr(r)*regionBytes
+		for _, off := range []int{0, 2, 4} {
+			p.Train(ctxAt(base+mem.Addr(off)*mem.BlockSize, 0xE00))
+		}
+	}
+	var got []mem.Addr
+	p.Operate(ctxAt(mem.Addr(0x40000000)+50*regionBytes, 0xE00),
+		func(c prefetch.Candidate) { got = append(got, c.Addr) })
+	if len(got) == 0 {
+		t.Error("Train-only generations did not populate the PHT")
+	}
+}
+
+func TestRegionBitsIgnored(t *testing.T) {
+	// SMS has no page-indexed structure: both granularities are identical.
+	a := New(DefaultConfig(), mem.PageBits4K)
+	b := New(DefaultConfig(), mem.PageBits2M)
+	regionBytes := mem.Addr(DefaultConfig().RegionBlocks) * mem.BlockSize
+	var gotA, gotB int
+	for r := 0; r < 12; r++ {
+		base := mem.Addr(0x40000000) + mem.Addr(r)*regionBytes
+		touchRegion(a, base, 0xF00, []int{0, 1, 5}, nil)
+		touchRegion(b, base, 0xF00, []int{0, 1, 5}, nil)
+	}
+	fresh := mem.Addr(0x40000000) + 300*regionBytes
+	a.Operate(ctxAt(fresh, 0xF00), func(prefetch.Candidate) { gotA++ })
+	b.Operate(ctxAt(fresh, 0xF00), func(prefetch.Candidate) { gotB++ })
+	if gotA != gotB {
+		t.Errorf("regionBits changed SMS behaviour: %d vs %d", gotA, gotB)
+	}
+}

@@ -1,0 +1,409 @@
+// Package spp implements the Signature Path Prefetcher (Kim et al.,
+// MICRO 2016): a confidence-based lookahead L2 prefetcher that compresses
+// per-page delta history into signatures (Signature Table), learns
+// signature→delta transitions (Pattern Table), and walks the most likely
+// signature path to issue prefetches at decreasing confidence, directing
+// high-confidence prefetches into the L2 and moderate ones into the LLC.
+//
+// The page granularity used to index the Signature Table is configurable
+// via regionBits: 12 reproduces the original 4KB-indexed SPP, 21 the paper's
+// SPP-PSA-2MB variant whose deltas range ±32767 instead of ±63.
+package spp
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// Config sizes SPP's structures and thresholds.
+type Config struct {
+	STSets, STWays int     // Signature Table geometry (256 entries default)
+	PTEntries      int     // Pattern Table entries (512 default)
+	SigBits        uint    // signature width (12 default)
+	DeltaSlots     int     // deltas tracked per PT entry (4 default)
+	CounterMax     int     // saturation for c_delta / c_sig (15 default)
+	FillThreshold  float64 // path confidence for L2 fill (Tp, 0.25)
+	LLCThreshold   float64 // path confidence for LLC fill & lookahead stop (Tf, 0.10)
+	MaxLookahead   int     // lookahead depth cap
+	GHREntries     int     // global history register entries (8)
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		STSets: 64, STWays: 4,
+		PTEntries:     512,
+		SigBits:       12,
+		DeltaSlots:    4,
+		CounterMax:    15,
+		FillThreshold: 0.25,
+		LLCThreshold:  0.10,
+		MaxLookahead:  24,
+		GHREntries:    8,
+	}
+}
+
+// Scale returns a copy of c with table capacities multiplied by k; the
+// ISO-storage comparison of Figure 11 uses Scale(2) on the original variant.
+func (c Config) Scale(k int) Config {
+	c.STSets *= k
+	c.PTEntries *= k
+	return c
+}
+
+type stEntry struct {
+	tag        mem.Addr
+	valid      bool
+	lastOffset int
+	sig        uint16
+	lru        uint64
+}
+
+type deltaSlot struct {
+	delta int
+	c     int
+}
+
+type ptEntry struct {
+	csig   int
+	deltas []deltaSlot
+}
+
+type ghrEntry struct {
+	valid      bool
+	sig        uint16
+	conf       float64
+	lastOffset int
+	delta      int
+	lru        uint64
+}
+
+// Prefetcher is an SPP instance. It implements prefetch.Prefetcher and
+// prefetch.FeedbackReceiver (for global accuracy throttling).
+type Prefetcher struct {
+	cfg        Config
+	regionBits uint
+	sigMask    uint16
+
+	st   []stEntry
+	pt   []ptEntry
+	ghr  []ghrEntry
+	tick uint64
+
+	// Global accuracy throttle: path confidence is scaled by the observed
+	// useful/issued ratio, halved periodically to track phases.
+	fbUseful, fbIssued uint64
+}
+
+// New creates an SPP prefetcher that indexes its Signature Table with pages
+// of 2^regionBits bytes.
+func New(cfg Config, regionBits uint) *Prefetcher {
+	if regionBits < mem.PageBits4K || regionBits > mem.PageBits2M {
+		panic(fmt.Sprintf("spp: regionBits %d out of range", regionBits))
+	}
+	p := &Prefetcher{
+		cfg:        cfg,
+		regionBits: regionBits,
+		sigMask:    uint16(1<<cfg.SigBits - 1),
+		st:         make([]stEntry, cfg.STSets*cfg.STWays),
+		pt:         make([]ptEntry, cfg.PTEntries),
+		ghr:        make([]ghrEntry, cfg.GHREntries),
+	}
+	for i := range p.pt {
+		p.pt[i].deltas = make([]deltaSlot, cfg.DeltaSlots)
+	}
+	return p
+}
+
+// Factory adapts New to prefetch.Factory.
+func Factory(cfg Config) prefetch.Factory {
+	return func(regionBits uint) prefetch.Prefetcher { return New(cfg, regionBits) }
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "spp" }
+
+// blocksPerRegion returns the number of blocks in one indexing region.
+func (p *Prefetcher) blocksPerRegion() int { return 1 << (p.regionBits - mem.BlockBits) }
+
+// region and offset decompose a block address under the indexing granularity.
+func (p *Prefetcher) region(a mem.Addr) mem.Addr { return a >> p.regionBits }
+func (p *Prefetcher) offset(a mem.Addr) int {
+	return int((a >> mem.BlockBits) & mem.Addr(p.blocksPerRegion()-1))
+}
+
+// nextSig folds a delta into a signature: shift-xor with a sign+magnitude
+// encoding of the delta, as in the original design.
+func (p *Prefetcher) nextSig(sig uint16, delta int) uint16 {
+	enc := delta
+	if enc < 0 {
+		enc = -enc | 1<<6
+	}
+	return ((sig << 3) ^ uint16(enc)) & p.sigMask
+}
+
+func (p *Prefetcher) stSet(region mem.Addr) []stEntry {
+	// The set index hashes the region number: physically contiguous 2MB
+	// pages are 512-page aligned, so raw low bits would map concurrent
+	// streams into the same set and thrash it.
+	h := uint64(region) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	s := int(h % uint64(p.cfg.STSets))
+	return p.st[s*p.cfg.STWays : (s+1)*p.cfg.STWays]
+}
+
+func (p *Prefetcher) stLookup(region mem.Addr) *stEntry {
+	set := p.stSet(region)
+	for i := range set {
+		if set[i].valid && set[i].tag == region {
+			p.tick++
+			set[i].lru = p.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) stInsert(region mem.Addr, off int, sig uint16) *stEntry {
+	set := p.stSet(region)
+	v := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			v = &set[i]
+			break
+		}
+		if set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	p.tick++
+	*v = stEntry{tag: region, valid: true, lastOffset: off, sig: sig, lru: p.tick}
+	return v
+}
+
+// ptUpdate records the observed delta under the signature.
+func (p *Prefetcher) ptUpdate(sig uint16, delta int) {
+	e := &p.pt[int(sig)%p.cfg.PTEntries]
+	if e.csig >= p.cfg.CounterMax {
+		// Saturated: age all counters to keep ratios adaptive.
+		e.csig >>= 1
+		for i := range e.deltas {
+			e.deltas[i].c >>= 1
+		}
+	}
+	e.csig++
+	slot := -1
+	minC := 1 << 30
+	minI := 0
+	for i := range e.deltas {
+		if e.deltas[i].c > 0 && e.deltas[i].delta == delta {
+			slot = i
+			break
+		}
+		if e.deltas[i].c < minC {
+			minC = e.deltas[i].c
+			minI = i
+		}
+	}
+	if slot < 0 {
+		e.deltas[minI] = deltaSlot{delta: delta, c: 0}
+		slot = minI
+	}
+	if e.deltas[slot].c < p.cfg.CounterMax {
+		e.deltas[slot].c++
+	}
+}
+
+// ghrRecord remembers a lookahead path that left the region, so the pattern
+// can be resumed when the neighbouring region is first accessed.
+func (p *Prefetcher) ghrRecord(sig uint16, conf float64, lastOffset, delta int) {
+	v := &p.ghr[0]
+	for i := range p.ghr {
+		if !p.ghr[i].valid {
+			v = &p.ghr[i]
+			break
+		}
+		if p.ghr[i].lru < v.lru {
+			v = &p.ghr[i]
+		}
+	}
+	p.tick++
+	*v = ghrEntry{valid: true, sig: sig, conf: conf, lastOffset: lastOffset, delta: delta, lru: p.tick}
+}
+
+// ghrBootstrap looks for a recorded cross-region path that lands on the given
+// first offset of a new region, returning the signature to adopt.
+func (p *Prefetcher) ghrBootstrap(off int) (uint16, bool) {
+	bpr := p.blocksPerRegion()
+	for i := range p.ghr {
+		e := &p.ghr[i]
+		if !e.valid {
+			continue
+		}
+		landing := (e.lastOffset + e.delta) & (bpr - 1)
+		if landing == off {
+			p.tick++
+			e.lru = p.tick
+			return p.nextSig(e.sig, e.delta), true
+		}
+	}
+	return 0, false
+}
+
+// alpha returns the global accuracy scaling factor applied to path
+// confidence.
+func (p *Prefetcher) alpha() float64 {
+	if p.fbIssued < 32 {
+		return 0.9 // warm-up prior
+	}
+	a := float64(p.fbUseful) / float64(p.fbIssued)
+	if a < 0.3 {
+		a = 0.3
+	}
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// PrefetchUseful implements prefetch.FeedbackReceiver.
+func (p *Prefetcher) PrefetchUseful(mem.Addr) {
+	p.fbUseful++
+	p.fbIssued++
+	p.decayFeedback()
+}
+
+// PrefetchUnused implements prefetch.FeedbackReceiver.
+func (p *Prefetcher) PrefetchUnused(mem.Addr) {
+	p.fbIssued++
+	p.decayFeedback()
+}
+
+// DemandMiss implements prefetch.FeedbackReceiver.
+func (p *Prefetcher) DemandMiss(mem.Addr) {}
+
+func (p *Prefetcher) decayFeedback() {
+	if p.fbIssued >= 1024 {
+		p.fbIssued >>= 1
+		p.fbUseful >>= 1
+	}
+}
+
+// Meta describes one lookahead step for a proposed candidate; PPF consumes it
+// as perceptron features.
+type Meta struct {
+	Sig        uint16
+	Delta      int
+	Depth      int
+	Confidence float64
+}
+
+// Train implements prefetch.Prefetcher: update ST/PT without proposing.
+func (p *Prefetcher) Train(ctx prefetch.Context) {
+	p.train(ctx)
+}
+
+// train returns the signature to start lookahead from and the trigger offset.
+func (p *Prefetcher) train(ctx prefetch.Context) (sig uint16, off int, ok bool) {
+	if !ctx.Type.IsDemand() {
+		return 0, 0, false
+	}
+	region := p.region(ctx.Addr)
+	off = p.offset(ctx.Addr)
+	if e := p.stLookup(region); e != nil {
+		delta := off - e.lastOffset
+		if delta == 0 {
+			return e.sig, off, true
+		}
+		p.ptUpdate(e.sig, delta)
+		e.sig = p.nextSig(e.sig, delta)
+		e.lastOffset = off
+		return e.sig, off, true
+	}
+	// First touch of this region: try to resume a cross-region path.
+	bootSig, found := p.ghrBootstrap(off)
+	if !found {
+		bootSig = 0
+	}
+	p.stInsert(region, off, bootSig)
+	return bootSig, off, found
+}
+
+// Operate implements prefetch.Prefetcher.
+func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate)) {
+	p.OperateMeta(ctx, func(c prefetch.Candidate, _ Meta) { issue(c) })
+}
+
+// OperateMeta is Operate with per-candidate lookahead metadata, used by PPF.
+func (p *Prefetcher) OperateMeta(ctx prefetch.Context, issue func(prefetch.Candidate, Meta)) {
+	sig, off, ok := p.train(ctx)
+	if !ok {
+		return
+	}
+	p.lookahead(ctx.Addr, sig, off, issue)
+}
+
+// lookahead walks the signature path issuing candidates at decreasing path
+// confidence.
+func (p *Prefetcher) lookahead(trigger mem.Addr, sig uint16, off int, issue func(prefetch.Candidate, Meta)) {
+	regionBase := trigger &^ (1<<p.regionBits - 1)
+	bpr := p.blocksPerRegion()
+	path := p.alpha()
+	base := off
+	crossRecorded := false
+
+	alpha := p.alpha()
+	for depth := 0; depth < p.cfg.MaxLookahead; depth++ {
+		e := &p.pt[int(sig)%p.cfg.PTEntries]
+		if e.csig == 0 {
+			return
+		}
+		bestC, bestDelta := 0, 0
+		for _, s := range e.deltas {
+			if s.c == 0 {
+				continue
+			}
+			conf := path * float64(s.c) / float64(e.csig)
+			if conf < p.cfg.LLCThreshold {
+				continue
+			}
+			target := base + s.delta
+			cand := regionBase + mem.Addr(target)*mem.BlockSize
+			// Candidates may leave the indexing region (that is the whole
+			// point of page-size awareness) but never the 2MB generation
+			// region of the trigger.
+			if target < 0 || !prefetch.InGenLimit(trigger, cand) {
+				if !crossRecorded && (target < 0 || target >= bpr) {
+					p.ghrRecord(sig, conf, base&(bpr-1), s.delta)
+					crossRecorded = true
+				}
+				continue
+			}
+			if target >= bpr && !crossRecorded {
+				// Leaving the region while still inside the 2MB limit: record
+				// for GHR bootstrap too (the original records at 4KB exits).
+				p.ghrRecord(sig, conf, base&(bpr-1), s.delta)
+				crossRecorded = true
+			}
+			issue(prefetch.Candidate{Addr: cand, FillL2: conf >= p.cfg.FillThreshold},
+				Meta{Sig: sig, Delta: s.delta, Depth: depth, Confidence: conf})
+			if s.c > bestC {
+				bestC, bestDelta = s.c, s.delta
+			}
+		}
+		if bestC == 0 {
+			return
+		}
+		// Path confidence decays by the delta ratio and by the global
+		// accuracy factor at every level, as in the original design — an
+		// inaccurate phase cuts lookahead short quickly.
+		path *= float64(bestC) / float64(e.csig) * alpha
+		if path < p.cfg.LLCThreshold {
+			return
+		}
+		base += bestDelta
+		sig = p.nextSig(sig, bestDelta)
+	}
+}

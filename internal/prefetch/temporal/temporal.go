@@ -1,0 +1,130 @@
+// Package temporal implements a GHB-style temporal (Markov) prefetcher in
+// the lineage the paper contrasts spatial prefetching against (Section II-A):
+// it records the global sequence of demand misses and, on a recurring miss,
+// replays the misses that followed it last time.
+//
+// The implementation deliberately exhibits the structural trade-offs the
+// paper describes: its metadata stores full block addresses (orders of
+// magnitude more state than a spatial prefetcher's deltas — see
+// MetadataBytes), and it is fundamentally unable to cover compulsory misses,
+// because it can only replay addresses it has already seen.
+package temporal
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// Config sizes the temporal prefetcher.
+type Config struct {
+	HistoryEntries int // global history buffer of miss addresses (8192)
+	IndexEntries   int // block → last history position (4096)
+	Degree         int // successors replayed per recurring miss (4)
+}
+
+// DefaultConfig returns the configuration used in comparisons.
+func DefaultConfig() Config {
+	return Config{HistoryEntries: 8192, IndexEntries: 4096, Degree: 4}
+}
+
+// Scale returns a copy with table capacities multiplied by k.
+func (c Config) Scale(k int) Config {
+	c.HistoryEntries *= k
+	c.IndexEntries *= k
+	return c
+}
+
+type indexEntry struct {
+	block mem.Addr
+	pos   uint64
+	valid bool
+}
+
+// Prefetcher is a temporal prefetcher instance.
+type Prefetcher struct {
+	cfg   Config
+	hist  []mem.Addr // circular buffer of miss block addresses
+	head  uint64     // total misses recorded (next write position mod len)
+	index []indexEntry
+}
+
+// New creates a temporal prefetcher. regionBits is ignored: temporal
+// prefetching has no spatial page-indexed structures at all.
+func New(cfg Config, _ uint) *Prefetcher {
+	return &Prefetcher{
+		cfg:   cfg,
+		hist:  make([]mem.Addr, cfg.HistoryEntries),
+		index: make([]indexEntry, cfg.IndexEntries),
+	}
+}
+
+// Factory adapts New to prefetch.Factory.
+func Factory(cfg Config) prefetch.Factory {
+	return func(regionBits uint) prefetch.Prefetcher { return New(cfg, regionBits) }
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "temporal" }
+
+// MetadataBytes returns the storage the configured tables require — the
+// paper's "orders of magnitude more metadata" comparison point (full 8-byte
+// addresses per history entry versus a spatial prefetcher's 7-bit deltas).
+func (p *Prefetcher) MetadataBytes() int {
+	return p.cfg.HistoryEntries*8 + p.cfg.IndexEntries*16
+}
+
+func (p *Prefetcher) slot(block mem.Addr) *indexEntry {
+	h := uint64(block) * 0x9e3779b97f4a7c15
+	return &p.index[h>>32%uint64(p.cfg.IndexEntries)]
+}
+
+// Train implements prefetch.Prefetcher: record demand misses in program
+// order.
+func (p *Prefetcher) Train(ctx prefetch.Context) {
+	if !ctx.Type.IsDemand() || ctx.Hit {
+		return // temporal prefetchers train on the miss sequence only
+	}
+	block := mem.BlockAlign(ctx.Addr)
+	p.hist[p.head%uint64(len(p.hist))] = block
+	*p.slot(block) = indexEntry{block: block, pos: p.head, valid: true}
+	p.head++
+}
+
+// Operate implements prefetch.Prefetcher.
+func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate)) {
+	if !ctx.Type.IsDemand() || ctx.Hit {
+		return
+	}
+	block := mem.BlockAlign(ctx.Addr)
+	e := *p.slot(block)
+	p.Train(ctx)
+	if !e.valid || e.block != block {
+		return
+	}
+	// Replay the misses that followed the previous occurrence, if they are
+	// still in the history window.
+	if p.head-e.pos >= uint64(len(p.hist)) {
+		return // overwritten
+	}
+	for i := uint64(1); i <= uint64(p.cfg.Degree); i++ {
+		pos := e.pos + i
+		if pos >= p.head {
+			return
+		}
+		if p.head-pos >= uint64(len(p.hist)) {
+			continue
+		}
+		succ := p.hist[pos%uint64(len(p.hist))]
+		if succ == block {
+			continue
+		}
+		// Temporal replay is not bounded by spatial regions in principle,
+		// but physical-address prefetching still must not leave the
+		// residing page; the engine's boundary policy enforces that, and
+		// the generation limit bounds what we propose.
+		if !prefetch.InGenLimit(ctx.Addr, succ) {
+			continue
+		}
+		issue(prefetch.Candidate{Addr: succ, FillL2: true})
+	}
+}

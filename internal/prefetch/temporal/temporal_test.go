@@ -1,0 +1,99 @@
+package temporal
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func missAt(addr mem.Addr) prefetch.Context {
+	return prefetch.Context{Addr: mem.BlockAlign(addr), Type: mem.Load, Hit: false, PageSize: mem.Page4K}
+}
+
+func TestReplaysRecurringSequence(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	// An irregular (non-spatial) miss sequence within one 2MB region.
+	seq := []mem.Addr{base, base + 0x4cc0, base + 0x19400, base + 0x1c0, base + 0xf000}
+	for _, a := range seq {
+		p.Operate(missAt(a), func(prefetch.Candidate) {})
+	}
+	// On recurrence of the first address, the successors replay.
+	var got []mem.Addr
+	p.Operate(missAt(seq[0]), func(c prefetch.Candidate) { got = append(got, c.Addr) })
+	if len(got) != DefaultConfig().Degree {
+		t.Fatalf("replayed %d successors, want %d: %v", len(got), DefaultConfig().Degree, got)
+	}
+	for i, want := range seq[1:] {
+		if got[i] != want {
+			t.Errorf("successor %d = %#x, want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestCannotCoverCompulsoryMisses(t *testing.T) {
+	// The paper's fundamental contrast: a first sweep over fresh addresses
+	// yields zero temporal prefetches (spatial prefetchers cover these).
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	n := 0
+	for i := 0; i < 500; i++ {
+		p.Operate(missAt(base+mem.Addr(i)*mem.BlockSize), func(prefetch.Candidate) { n++ })
+	}
+	if n != 0 {
+		t.Errorf("temporal prefetcher proposed %d candidates on compulsory misses", n)
+	}
+}
+
+func TestHitsDoNotTrain(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	ctx := missAt(0x40000000)
+	ctx.Hit = true
+	p.Operate(ctx, func(prefetch.Candidate) { t.Fatal("hit proposed a candidate") })
+	if p.head != 0 {
+		t.Error("hit was recorded in the miss history")
+	}
+}
+
+func TestOverwrittenHistoryNotReplayed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryEntries = 16
+	p := New(cfg, mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	first := base + 0x1000
+	p.Operate(missAt(first), func(prefetch.Candidate) {})
+	// Flood the history so the entry's successors are overwritten.
+	for i := 0; i < 64; i++ {
+		p.Operate(missAt(base+mem.Addr(0x2000+i*0x40)), func(prefetch.Candidate) {})
+	}
+	n := 0
+	p.Operate(missAt(first), func(prefetch.Candidate) { n++ })
+	if n != 0 {
+		t.Errorf("replayed %d successors from overwritten history", n)
+	}
+}
+
+func TestMetadataOrdersOfMagnitudeLarger(t *testing.T) {
+	// The configured temporal tables store ~128KB of full addresses; SPP's
+	// pattern state is a few KB of deltas. The ratio is the paper's point.
+	m := New(DefaultConfig(), mem.PageBits4K).MetadataBytes()
+	if m < 100<<10 {
+		t.Errorf("temporal metadata = %d bytes, expected ≥ 100KB", m)
+	}
+}
+
+func TestGenLimitRespected(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	a := mem.Addr(0x40000000)
+	b := a + 3*mem.PageSize2M // different 2MB region
+	p.Operate(missAt(a), func(prefetch.Candidate) {})
+	p.Operate(missAt(b), func(prefetch.Candidate) {})
+	var got []mem.Addr
+	p.Operate(missAt(a), func(c prefetch.Candidate) { got = append(got, c.Addr) })
+	for _, c := range got {
+		if !mem.SamePage(c, a, mem.Page2M) {
+			t.Errorf("candidate %#x escaped the trigger's 2MB region", c)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package vldp implements the Variable Length Delta Prefetcher (Shevgoor et
+// al., MICRO 2015): per-page delta histories (Delta History Buffer) feed a
+// cascade of Delta Prediction Tables keyed by delta sequences of increasing
+// length, with longer-history tables taking precedence; an Offset Prediction
+// Table predicts the first delta of a freshly touched page.
+//
+// As with SPP, the page granularity used for the DHB is configurable via
+// regionBits so the paper's VLDP-PSA-2MB variant can be instantiated.
+package vldp
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// Config sizes VLDP's structures.
+type Config struct {
+	DHBEntries int // delta history buffer entries (16)
+	DPTEntries int // entries per delta prediction table (64)
+	OPTEntries int // offset prediction table entries (64)
+	HistoryLen int // delta history per page (3 tables → 3)
+	Degree     int // prefetches chained per trigger (4)
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{DHBEntries: 16, DPTEntries: 64, OPTEntries: 64, HistoryLen: 3, Degree: 4}
+}
+
+// Scale returns a copy of c with table capacities multiplied by k (ISO
+// storage comparison).
+func (c Config) Scale(k int) Config {
+	c.DHBEntries *= k
+	c.DPTEntries *= k
+	c.OPTEntries *= k
+	return c
+}
+
+type dhbEntry struct {
+	tag        mem.Addr
+	valid      bool
+	lastOffset int
+	deltas     []int // most recent last
+	lru        uint64
+}
+
+type dptEntry struct {
+	key   uint64
+	delta int
+	conf  int // 2-bit saturating
+	valid bool
+}
+
+type optEntry struct {
+	delta int
+	conf  int
+	valid bool
+}
+
+// Prefetcher is a VLDP instance.
+type Prefetcher struct {
+	cfg        Config
+	regionBits uint
+
+	dhb  []dhbEntry
+	dpt  [][]dptEntry // one table per history length 1..HistoryLen
+	opt  []optEntry
+	tick uint64
+}
+
+// New creates a VLDP prefetcher indexing pages of 2^regionBits bytes.
+func New(cfg Config, regionBits uint) *Prefetcher {
+	p := &Prefetcher{
+		cfg:        cfg,
+		regionBits: regionBits,
+		dhb:        make([]dhbEntry, cfg.DHBEntries),
+		opt:        make([]optEntry, cfg.OPTEntries),
+	}
+	p.dpt = make([][]dptEntry, cfg.HistoryLen)
+	for i := range p.dpt {
+		p.dpt[i] = make([]dptEntry, cfg.DPTEntries)
+	}
+	return p
+}
+
+// Factory adapts New to prefetch.Factory.
+func Factory(cfg Config) prefetch.Factory {
+	return func(regionBits uint) prefetch.Prefetcher { return New(cfg, regionBits) }
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "vldp" }
+
+func (p *Prefetcher) blocksPerRegion() int       { return 1 << (p.regionBits - mem.BlockBits) }
+func (p *Prefetcher) region(a mem.Addr) mem.Addr { return a >> p.regionBits }
+func (p *Prefetcher) offset(a mem.Addr) int {
+	return int((a >> mem.BlockBits) & mem.Addr(p.blocksPerRegion()-1))
+}
+
+// seqKey hashes the most recent n deltas of hist into a table key.
+func seqKey(hist []int, n int) uint64 {
+	k := uint64(0x9e3779b97f4a7c15)
+	for _, d := range hist[len(hist)-n:] {
+		enc := uint64(d)
+		if d < 0 {
+			enc = uint64(-d) | 1<<20
+		}
+		k = (k ^ enc) * 0x100000001b3
+	}
+	return k
+}
+
+func (p *Prefetcher) dhbLookup(region mem.Addr) *dhbEntry {
+	for i := range p.dhb {
+		if p.dhb[i].valid && p.dhb[i].tag == region {
+			p.tick++
+			p.dhb[i].lru = p.tick
+			return &p.dhb[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) dhbInsert(region mem.Addr, off int) *dhbEntry {
+	v := &p.dhb[0]
+	for i := range p.dhb {
+		if !p.dhb[i].valid {
+			v = &p.dhb[i]
+			break
+		}
+		if p.dhb[i].lru < v.lru {
+			v = &p.dhb[i]
+		}
+	}
+	p.tick++
+	*v = dhbEntry{tag: region, valid: true, lastOffset: off, lru: p.tick}
+	return v
+}
+
+// dptUpdate trains table level (history length level+1) to predict delta for
+// the given history.
+func (p *Prefetcher) dptUpdate(level int, hist []int, delta int) {
+	if len(hist) < level+1 {
+		return
+	}
+	key := seqKey(hist, level+1)
+	e := &p.dpt[level][key%uint64(p.cfg.DPTEntries)]
+	if e.valid && e.key == key {
+		if e.delta == delta {
+			if e.conf < 3 {
+				e.conf++
+			}
+		} else {
+			e.conf--
+			if e.conf < 0 {
+				e.delta = delta
+				e.conf = 0
+			}
+		}
+		return
+	}
+	// Simple replacement: low-confidence entries give way.
+	if !e.valid || e.conf == 0 {
+		*e = dptEntry{key: key, delta: delta, conf: 0, valid: true}
+	} else {
+		e.conf--
+	}
+}
+
+// dptPredict consults the tables from the longest matching history down.
+func (p *Prefetcher) dptPredict(hist []int) (int, bool) {
+	for level := min(len(hist), p.cfg.HistoryLen) - 1; level >= 0; level-- {
+		key := seqKey(hist, level+1)
+		e := &p.dpt[level][key%uint64(p.cfg.DPTEntries)]
+		if e.valid && e.key == key && e.conf > 0 {
+			return e.delta, true
+		}
+	}
+	return 0, false
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ctx prefetch.Context) { p.train(ctx) }
+
+func (p *Prefetcher) train(ctx prefetch.Context) (e *dhbEntry, newRegion bool, ok bool) {
+	if !ctx.Type.IsDemand() {
+		return nil, false, false
+	}
+	region := p.region(ctx.Addr)
+	off := p.offset(ctx.Addr)
+	if e = p.dhbLookup(region); e == nil {
+		e = p.dhbInsert(region, off)
+		// Train the OPT with the first offset of the region once the first
+		// delta is known; prediction for now comes from the OPT.
+		return e, true, true
+	}
+	delta := off - e.lastOffset
+	if delta == 0 {
+		return e, false, true
+	}
+	if len(e.deltas) == 0 {
+		// The first in-region delta trains the OPT under the first offset.
+		first := e.lastOffset % p.cfg.OPTEntries
+		oe := &p.opt[first]
+		if oe.valid && oe.delta == delta {
+			if oe.conf < 3 {
+				oe.conf++
+			}
+		} else if !oe.valid || oe.conf == 0 {
+			*oe = optEntry{delta: delta, conf: 0, valid: true}
+		} else {
+			oe.conf--
+		}
+	}
+	// Train every DPT level against its history prefix.
+	for level := 0; level < p.cfg.HistoryLen; level++ {
+		p.dptUpdate(level, e.deltas, delta)
+	}
+	e.deltas = append(e.deltas, delta)
+	if len(e.deltas) > p.cfg.HistoryLen {
+		e.deltas = e.deltas[1:]
+	}
+	e.lastOffset = off
+	return e, false, true
+}
+
+// Operate implements prefetch.Prefetcher.
+func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate)) {
+	e, newRegion, ok := p.train(ctx)
+	if !ok {
+		return
+	}
+	bpr := p.blocksPerRegion()
+	base := p.offset(ctx.Addr)
+	regionBase := ctx.Addr &^ (1<<p.regionBits - 1)
+
+	if newRegion {
+		// First access to a region: the OPT predicts the first delta.
+		oe := &p.opt[base%p.cfg.OPTEntries]
+		if oe.valid && oe.conf > 0 {
+			target := base + oe.delta
+			cand := regionBase + mem.Addr(target)*mem.BlockSize
+			if target >= 0 && prefetch.InGenLimit(ctx.Addr, cand) {
+				issue(prefetch.Candidate{Addr: cand, FillL2: true})
+			}
+		}
+		return
+	}
+
+	// Chain DPT predictions up to Degree, simulating the history advance.
+	hist := append([]int(nil), e.deltas...)
+	cur := base
+	for i := 0; i < p.cfg.Degree; i++ {
+		delta, found := p.dptPredict(hist)
+		if !found {
+			return
+		}
+		cur += delta
+		cand := regionBase + mem.Addr(cur)*mem.BlockSize
+		if cur < 0 || !prefetch.InGenLimit(ctx.Addr, cand) {
+			return
+		}
+		_ = bpr
+		// Deeper chained prefetches carry less confidence: direct the first
+		// two to the L2 and the rest to the LLC.
+		issue(prefetch.Candidate{Addr: cand, FillL2: i < 2})
+		hist = append(hist, delta)
+		if len(hist) > p.cfg.HistoryLen {
+			hist = hist[1:]
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package vldp
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func ctxAt(addr mem.Addr) prefetch.Context {
+	return prefetch.Context{Addr: mem.BlockAlign(addr), Type: mem.Load, PageSize: mem.Page4K}
+}
+
+func collect(p *Prefetcher, addr mem.Addr) []prefetch.Candidate {
+	var out []prefetch.Candidate
+	p.Operate(ctxAt(addr), func(c prefetch.Candidate) { out = append(out, c) })
+	return out
+}
+
+func TestLearnsConstantDelta(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	var cands []prefetch.Candidate
+	for i := 0; i < 10; i++ {
+		cands = collect(p, base+mem.Addr(2*i)*mem.BlockSize)
+	}
+	want := base + 22*mem.BlockSize // next after offset 18 (+2 chain ×2)
+	found := false
+	for _, c := range cands {
+		if c.Addr == base+20*mem.BlockSize || c.Addr == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("+2 delta continuation not proposed; got %+v", cands)
+	}
+	if len(cands) < 2 {
+		t.Errorf("degree too low: %d candidates", len(cands))
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	// Deltas alternate +1,+3,+1,+3...; the longer-history tables must pick
+	// this up, which a single-delta predictor cannot do reliably.
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	off := 0
+	deltas := []int{1, 3}
+	var cands []prefetch.Candidate
+	for i := 0; i < 24; i++ {
+		cands = collect(p, base+mem.Addr(off)*mem.BlockSize)
+		off += deltas[i%2]
+	}
+	// After an even number of accesses the last delta was +3, so next is +1.
+	want := base + mem.Addr(off)*mem.BlockSize
+	found := false
+	for _, c := range cands {
+		if c.Addr == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("alternating pattern continuation %#x not in %+v", want, cands)
+	}
+}
+
+func TestOPTPredictsFirstDelta(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	// Several pages all start at offset 0 and then touch offset 4: the OPT
+	// learns first-offset 0 → delta +4.
+	for i := 0; i < 6; i++ {
+		base := mem.Addr(0x40000000) + mem.Addr(i)<<mem.PageBits4K
+		collect(p, base)
+		collect(p, base+4*mem.BlockSize)
+	}
+	fresh := mem.Addr(0x40000000) + 100<<mem.PageBits4K
+	cands := collect(p, fresh)
+	found := false
+	for _, c := range cands {
+		if c.Addr == fresh+4*mem.BlockSize {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("OPT did not predict first delta; got %+v", cands)
+	}
+}
+
+func TestCandidatesStayInGenLimit(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	// Stride toward the very end of a 2MB region.
+	regionEnd := mem.Addr(0x40000000) + mem.PageSize2M
+	var all []prefetch.Candidate
+	for i := 20; i > 0; i-- {
+		addr := regionEnd - mem.Addr(i*3)*mem.BlockSize
+		all = append(all, collect(p, addr)...)
+	}
+	for _, c := range all {
+		if !mem.SamePage(c.Addr, 0x40000000, mem.Page2M) {
+			t.Errorf("candidate %#x escaped the 2MB generation region", c.Addr)
+		}
+	}
+}
+
+func TestCrosses4KBWithinRegion(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	var all []prefetch.Candidate
+	for off := 50; off < 64; off++ {
+		all = append(all, collect(p, base+mem.Addr(off)*mem.BlockSize)...)
+	}
+	crossed := false
+	for _, c := range all {
+		if !mem.SamePage(c.Addr, base, mem.Page4K) {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Error("no raw candidate crossed the 4KB boundary near page end")
+	}
+}
+
+func TestTrainOnlyBuildsState(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	for i := 0; i < 10; i++ {
+		p.Train(ctxAt(base + mem.Addr(i)*mem.BlockSize))
+	}
+	cands := collect(p, base+10*mem.BlockSize)
+	if len(cands) == 0 {
+		t.Error("Train-only state produced no predictions")
+	}
+}
+
+func TestNonDemandIgnored(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	var called bool
+	p.Operate(prefetch.Context{Addr: 0x1000, Type: mem.Prefetch}, func(prefetch.Candidate) { called = true })
+	if called {
+		t.Error("non-demand access proposed candidates")
+	}
+}
+
+func TestDPTConfidenceReplacement(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	hist := []int{5}
+	for i := 0; i < 4; i++ {
+		p.dptUpdate(0, hist, 7)
+	}
+	if d, ok := p.dptPredict(hist); !ok || d != 7 {
+		t.Fatalf("predict = %d,%v; want 7,true", d, ok)
+	}
+	// Conflicting updates erode confidence and eventually retrain.
+	for i := 0; i < 10; i++ {
+		p.dptUpdate(0, hist, 9)
+	}
+	if d, ok := p.dptPredict(hist); !ok || d != 9 {
+		t.Errorf("after retraining predict = %d,%v; want 9,true", d, ok)
+	}
+}
+
+func TestRegionBits2MLargeDeltas(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits2M)
+	base := mem.Addr(0x40000000)
+	var cands []prefetch.Candidate
+	for i := 0; i < 12; i++ {
+		cands = collect(p, base+mem.Addr(i*100)*mem.BlockSize)
+	}
+	want := base + mem.Addr(12*100)*mem.BlockSize
+	found := false
+	for _, c := range cands {
+		if c.Addr == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("2MB-indexed VLDP missed +100-block stride; got %+v", cands)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := DefaultConfig().Scale(2)
+	if c.DHBEntries != 32 || c.DPTEntries != 128 || c.OPTEntries != 128 {
+		t.Errorf("Scale(2) = %+v", c)
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// RunOpt controls a run's length.
+type RunOpt struct {
+	Warmup       uint64 // instructions to warm structures (stats then reset)
+	Instructions uint64 // measured instructions
+	Seed         uint64
+	Samples      int // Frac2M samples taken across the measured window (Fig. 3)
+}
+
+// DefaultRunOpt returns a laptop-scale default: 250K warmup, 1M measured.
+// The paper uses 250M+250M on ChampSim; the shape-level results reproduce at
+// this scale because the footprints dwarf the caches either way.
+func DefaultRunOpt() RunOpt {
+	return RunOpt{Warmup: 250_000, Instructions: 1_000_000, Seed: 1, Samples: 16}
+}
+
+// Result carries everything the experiments derive their figures from.
+type Result struct {
+	Workload string
+	Spec     string
+
+	Instructions uint64
+	Cycles       mem.Cycle
+	IPC          float64
+
+	L1D, L2, LLC cache.Stats
+	Engine       core.Stats
+	DRAM         dram.Stats
+
+	TLBL1Hits, TLBL1Misses uint64
+	TLBL2Hits, TLBL2Misses uint64
+	Walks                  uint64
+
+	// Frac2MOverTime samples the fraction of mapped memory backed by 2MB
+	// pages across the run (Figure 3); Frac2MFinal is the last sample.
+	Frac2MOverTime []float64
+	Frac2MFinal    float64
+}
+
+// Run simulates one workload on a single-core machine with the given
+// prefetching spec.
+func Run(cfg Config, spec PrefSpec, w trace.Workload, opt RunOpt) (Result, error) {
+	sys, err := newSystem(cfg, spec, []trace.Workload{w}, opt.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	n := sys.nodes[0]
+
+	if opt.Warmup > 0 {
+		n.cpu.Run(n.reader, opt.Warmup)
+	}
+	resetStats(sys)
+	instrStart, cycleStart := n.cpu.Instructions, n.cpu.Cycle
+
+	samples := opt.Samples
+	if samples <= 0 {
+		samples = 1
+	}
+	res := Result{Workload: w.Name, Spec: spec.String()}
+	chunk := opt.Instructions / uint64(samples)
+	if chunk == 0 {
+		chunk = opt.Instructions
+	}
+	var run uint64
+	for run < opt.Instructions {
+		want := chunk
+		if rem := opt.Instructions - run; rem < want {
+			want = rem
+		}
+		got := n.cpu.Run(n.reader, want)
+		run += got
+		res.Frac2MOverTime = append(res.Frac2MOverTime, sys.alloc.Frac2M())
+		if got < want {
+			break // trace drained
+		}
+	}
+
+	res.Instructions = n.cpu.Instructions - instrStart
+	res.Cycles = n.cpu.Cycle - cycleStart
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	res.L1D = n.l1d.Stats
+	res.L2 = n.l2.Stats
+	res.LLC = sys.llc.Stats
+	if n.engine != nil {
+		res.Engine = n.engine.Stats
+	}
+	res.DRAM = sys.dramDev.Stats
+	res.TLBL1Hits, res.TLBL1Misses = n.mmu.L1().Hits, n.mmu.L1().Misses
+	res.TLBL2Hits, res.TLBL2Misses = n.mmu.L2().Hits, n.mmu.L2().Misses
+	res.Walks = n.mmu.Walks
+	if len(res.Frac2MOverTime) > 0 {
+		res.Frac2MFinal = res.Frac2MOverTime[len(res.Frac2MOverTime)-1]
+	}
+	return res, nil
+}
+
+// resetStats zeroes the measurable counters after warmup, keeping all
+// microarchitectural state warm.
+func resetStats(sys *system) {
+	sys.llc.Stats = cache.Stats{}
+	sys.dramDev.Stats = dram.Stats{}
+	for _, n := range sys.nodes {
+		n.l1d.Stats = cache.Stats{}
+		n.l2.Stats = cache.Stats{}
+		if n.engine != nil {
+			n.engine.Stats = core.Stats{}
+		}
+		n.mmu.L1().Hits, n.mmu.L1().Misses = 0, 0
+		n.mmu.L2().Hits, n.mmu.L2().Misses = 0, 0
+		n.mmu.Walks, n.mmu.WalkRefs = 0, 0
+	}
+}
+
+// MultiResult is the outcome of a multi-core mix run.
+type MultiResult struct {
+	Workloads []string
+	// IPC per core over the measured window.
+	IPC []float64
+	// DRAM aggregates the shared memory system's traffic over the window.
+	DRAM dram.Stats
+}
+
+// RunMulti simulates a mix of workloads, one per core, over a shared LLC and
+// DRAM, following the standard multi-core methodology: all cores advance in
+// shared-time epochs; a core that reaches its warm-up or measurement
+// instruction count KEEPS RUNNING so the contention others see never drops;
+// each core's IPC is measured over its own first `Instructions` retired after
+// the shared warm-up boundary.
+func RunMulti(cfg Config, spec PrefSpec, mix []trace.Workload, opt RunOpt) (MultiResult, error) {
+	cfg.PhysBytes = maxAddr(cfg.PhysBytes, mem.Addr(len(mix))*(8<<30)/2)
+	sys, err := newSystem(cfg, spec, mix, opt.Seed)
+	if err != nil {
+		return MultiResult{}, err
+	}
+
+	const epochCycles = 2000
+	n := len(sys.nodes)
+	drained := make([]bool, n)
+
+	// runEpochs advances every core (drained ones excepted) in lock-step
+	// epochs until stop() is true, checked at epoch boundaries.
+	runEpochs := func(stop func() bool, onEpoch func()) {
+		for !stop() {
+			var minCycle mem.Cycle = 1 << 62
+			active := false
+			for i, node := range sys.nodes {
+				if drained[i] {
+					continue
+				}
+				active = true
+				if node.cpu.Cycle < minCycle {
+					minCycle = node.cpu.Cycle
+				}
+			}
+			if !active {
+				return
+			}
+			epochEnd := minCycle + epochCycles
+			for i, node := range sys.nodes {
+				if drained[i] || node.cpu.Cycle >= epochEnd {
+					continue
+				}
+				before := node.cpu.Instructions
+				node.cpu.RunUntil(node.reader, 1<<60, epochEnd)
+				if node.cpu.Instructions == before && node.cpu.Cycle < epochEnd {
+					drained[i] = true
+				}
+			}
+			if onEpoch != nil {
+				onEpoch()
+			}
+		}
+	}
+
+	// Warm-up: until every core has retired opt.Warmup instructions.
+	if opt.Warmup > 0 {
+		runEpochs(func() bool {
+			for i, node := range sys.nodes {
+				if !drained[i] && node.cpu.Instructions < opt.Warmup {
+					return false
+				}
+			}
+			return true
+		}, nil)
+	}
+	resetStats(sys)
+
+	starts := make([]uint64, n)
+	cycleStart := make([]mem.Cycle, n)
+	doneCycle := make([]mem.Cycle, n)
+	measured := make([]bool, n)
+	for i, node := range sys.nodes {
+		starts[i] = node.cpu.Instructions
+		cycleStart[i] = node.cpu.Cycle
+	}
+	record := func() {
+		for i, node := range sys.nodes {
+			if !measured[i] && (drained[i] || node.cpu.Instructions >= starts[i]+opt.Instructions) {
+				measured[i] = true
+				doneCycle[i] = node.cpu.Cycle
+			}
+		}
+	}
+	runEpochs(func() bool {
+		record()
+		for i := range sys.nodes {
+			if !measured[i] {
+				return false
+			}
+		}
+		return true
+	}, record)
+	record()
+
+	res := MultiResult{DRAM: sys.dramDev.Stats}
+	for i, node := range sys.nodes {
+		res.Workloads = append(res.Workloads, mix[i].Name)
+		instr := node.cpu.Instructions - starts[i]
+		if instr > opt.Instructions {
+			instr = opt.Instructions
+		}
+		cyc := doneCycle[i] - cycleStart[i]
+		ipc := 0.0
+		if cyc > 0 {
+			ipc = float64(instr) / float64(cyc)
+		}
+		res.IPC = append(res.IPC, ipc)
+	}
+	return res, nil
+}
+
+func maxAddr(a, b mem.Addr) mem.Addr {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,36 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Speedup aggregation works the way the paper reports it: geometric means of
+// per-workload IPC ratios, expressed in percent.
+func ExampleGeomeanSpeedup() {
+	baselineIPC := []float64{1.0, 0.5, 2.0}
+	variantIPC := []float64{1.1, 0.55, 2.2} // +10% everywhere
+
+	fmt.Printf("%.1f%%\n", stats.GeomeanSpeedup(baselineIPC, variantIPC))
+	// Output:
+	// 10.0%
+}
+
+// Distribution summaries stand in for the paper's violin plots.
+func ExampleSummarize() {
+	perWorkload := []float64{0.02, 0.05, 0.11, 0.09, 0.50}
+	s := stats.Summarize(perWorkload)
+	fmt.Printf("median %.2f max %.2f n=%d\n", s.Median, s.Max, s.N)
+	// Output:
+	// median 0.09 max 0.50 n=5
+}
+
+// WeightedSpeedup is the multi-core metric of Section V-B.
+func ExampleWeightedSpeedup() {
+	multicoreIPC := []float64{0.8, 1.6}
+	isolationIPC := []float64{1.0, 2.0}
+	fmt.Printf("%.1f\n", stats.WeightedSpeedup(multicoreIPC, isolationIPC))
+	// Output:
+	// 1.6
+}

@@ -1,0 +1,146 @@
+// Package stats provides the aggregation helpers used by the evaluation:
+// geometric means of speedups, distribution summaries (the violin plots of
+// Figures 2, 14, and 15 are reported as percentile tables), and weighted
+// multi-core speedups.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Geomean returns the geometric mean of xs. Non-positive values are clamped
+// to a small epsilon so a single degenerate run cannot poison an aggregate.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 1e-9 {
+			x = 1e-9
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// GeomeanSpeedup converts paired (baseline, variant) metrics into the
+// geometric-mean speedup in percent, the unit of the paper's figures.
+func GeomeanSpeedup(base, variant []float64) float64 {
+	if len(base) != len(variant) || len(base) == 0 {
+		return 0
+	}
+	ratios := make([]float64, len(base))
+	for i := range base {
+		if base[i] <= 0 {
+			ratios[i] = 1
+			continue
+		}
+		ratios[i] = variant[i] / base[i]
+	}
+	return (Geomean(ratios) - 1) * 100
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Summary is a distribution summary: the textual stand-in for a violin plot.
+type Summary struct {
+	Min, P25, Median, P75, P90, Max, Mean float64
+	N                                     int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		Min:    s[0],
+		P25:    Percentile(s, 25),
+		Median: Percentile(s, 50),
+		P75:    Percentile(s, 75),
+		P90:    Percentile(s, 90),
+		Max:    s[len(s)-1],
+		Mean:   Mean(s),
+		N:      len(s),
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted xs by linear
+// interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BootstrapCI returns a (lo, hi) percentile bootstrap confidence interval for
+// the mean of xs at the given confidence level (e.g. 0.95), using a
+// deterministic resampling stream so reports are reproducible.
+func BootstrapCI(xs []float64, level float64, resamples int) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	means := make([]float64, resamples)
+	for r := range means {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[next()%uint64(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return Percentile(means, alpha*100), Percentile(means, (1-alpha)*100)
+}
+
+// WeightedSpeedup computes the multi-core metric of Section V-B: the sum over
+// mix members of IPC_multicore / IPC_isolation.
+func WeightedSpeedup(multi, iso []float64) float64 {
+	if len(multi) != len(iso) {
+		return 0
+	}
+	ws := 0.0
+	for i := range multi {
+		if iso[i] <= 0 {
+			continue
+		}
+		ws += multi[i] / iso[i]
+	}
+	return ws
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if !approx(Geomean([]float64{2, 8}), 4) {
+		t.Errorf("Geomean(2,8) = %v", Geomean([]float64{2, 8}))
+	}
+	if Geomean(nil) != 0 {
+		t.Error("Geomean(nil) != 0")
+	}
+	if !approx(Geomean([]float64{5}), 5) {
+		t.Error("single element geomean")
+	}
+	// Non-positive values are clamped, not NaN.
+	if math.IsNaN(Geomean([]float64{0, 1})) {
+		t.Error("Geomean produced NaN")
+	}
+}
+
+func TestGeomeanSpeedup(t *testing.T) {
+	base := []float64{1, 1, 1}
+	variant := []float64{1.1, 1.1, 1.1}
+	if got := GeomeanSpeedup(base, variant); !approx(got, 10.000000000000009) && math.Abs(got-10) > 1e-6 {
+		t.Errorf("GeomeanSpeedup = %v, want 10", got)
+	}
+	if GeomeanSpeedup([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("mismatched lengths should return 0")
+	}
+	// A zero baseline entry is treated as neutral.
+	if got := GeomeanSpeedup([]float64{0, 1}, []float64{5, 1}); math.Abs(got) > 1e-6 {
+		t.Errorf("zero baseline not neutral: %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.N != 5 || !approx(s.Mean, 3) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !approx(got, 5) {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 0 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("P100 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 || Percentile([]float64{7}, 50) != 7 {
+		t.Error("degenerate percentiles")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	// Two apps at parity plus one at half speed: WS = 1 + 1 + 0.5.
+	ws := WeightedSpeedup([]float64{1, 2, 0.5}, []float64{1, 2, 1})
+	if !approx(ws, 2.5) {
+		t.Errorf("WS = %v, want 2.5", ws)
+	}
+	if WeightedSpeedup([]float64{1}, []float64{}) != 0 {
+		t.Error("mismatched lengths")
+	}
+	// Zero isolation IPC skipped, not Inf.
+	if math.IsInf(WeightedSpeedup([]float64{1}, []float64{0}), 0) {
+		t.Error("division by zero isolation IPC")
+	}
+}
+
+// Property: geomean lies between min and max.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return g >= s[0]-1e-9 && g <= s[len(s)-1]+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := append([]float64(nil), raw...)
+		for i := range s {
+			if math.IsNaN(s[i]) || math.IsInf(s[i], 0) {
+				s[i] = 0
+			}
+		}
+		sort.Float64s(s)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(s, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := []float64{10, 11, 9, 10.5, 9.5, 10.2, 9.8, 10.1}
+	lo, hi := BootstrapCI(xs, 0.95, 500)
+	if lo > hi {
+		t.Fatalf("inverted CI [%v, %v]", lo, hi)
+	}
+	m := Mean(xs)
+	if m < lo || m > hi {
+		t.Errorf("mean %v outside its own CI [%v, %v]", m, lo, hi)
+	}
+	if hi-lo > 2 {
+		t.Errorf("CI [%v, %v] too wide for tight data", lo, hi)
+	}
+	// Deterministic.
+	lo2, hi2 := BootstrapCI(xs, 0.95, 500)
+	if lo != lo2 || hi != hi2 {
+		t.Error("bootstrap not deterministic")
+	}
+	if l, h := BootstrapCI(nil, 0.95, 10); l != 0 || h != 0 {
+		t.Error("empty input CI not zero")
+	}
+}

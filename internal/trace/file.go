@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Binary trace format ("PSAT"): a fixed header followed by delta-encoded
+// access records. Addresses and PCs are written as signed varint deltas from
+// the previous record, which compresses strided streams to a couple of bytes
+// per access.
+const (
+	fileMagic   = "PSAT"
+	fileVersion = 1
+)
+
+// Writer streams accesses into a binary trace.
+type Writer struct {
+	w           *bufio.Writer
+	lastVA      int64
+	lastPC      int64
+	count       uint64
+	wroteHeader bool
+}
+
+// NewWriter creates a trace writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (t *Writer) header() error {
+	if t.wroteHeader {
+		return nil
+	}
+	t.wroteHeader = true
+	if _, err := t.w.WriteString(fileMagic); err != nil {
+		return err
+	}
+	return t.w.WriteByte(fileVersion)
+}
+
+// Write appends one access record.
+func (t *Writer) Write(a Access) error {
+	if err := t.header(); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+
+	// flags byte: bit0 write, bits 1..7 gap (gaps ≥127 are clamped).
+	gap := a.Gap
+	if gap > 127 {
+		gap = 127
+	}
+	flags := byte(gap << 1)
+	if a.Write {
+		flags |= 1
+	}
+	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+
+	dv := int64(a.VAddr) - t.lastVA
+	t.lastVA = int64(a.VAddr)
+	n := binary.PutVarint(buf[:], dv)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		return err
+	}
+
+	dp := int64(a.PC) - t.lastPC
+	t.lastPC = int64(a.PC)
+	n = binary.PutVarint(buf[:], dp)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (t *Writer) Flush() error {
+	if err := t.header(); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// FileReader replays a binary trace as a Reader. It is not safe for
+// concurrent use.
+type FileReader struct {
+	r      *bufio.Reader
+	lastVA int64
+	lastPC int64
+	err    error
+	header bool
+}
+
+// NewFileReader creates a replaying Reader over r. The header is validated
+// lazily on the first Next call; Err reports format errors afterwards.
+func NewFileReader(r io.Reader) *FileReader {
+	return &FileReader{r: bufio.NewReader(r)}
+}
+
+// Err returns the terminal error, if any (nil on clean EOF).
+func (t *FileReader) Err() error { return t.err }
+
+func (t *FileReader) readHeader() error {
+	var magic [5]byte
+	if _, err := io.ReadFull(t.r, magic[:]); err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(magic[:4]) != fileMagic {
+		return errors.New("trace: bad magic, not a PSAT trace")
+	}
+	if magic[4] != fileVersion {
+		return fmt.Errorf("trace: unsupported version %d", magic[4])
+	}
+	return nil
+}
+
+// Next implements Reader.
+func (t *FileReader) Next(a *Access) bool {
+	if t.err != nil {
+		return false
+	}
+	if !t.header {
+		t.header = true
+		if err := t.readHeader(); err != nil {
+			t.err = err
+			return false
+		}
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			t.err = err
+		}
+		return false
+	}
+	dv, err := binary.ReadVarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("trace: truncated record: %w", err)
+		return false
+	}
+	dp, err := binary.ReadVarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("trace: truncated record: %w", err)
+		return false
+	}
+	t.lastVA += dv
+	t.lastPC += dp
+	a.VAddr = mem.Addr(uint64(t.lastVA))
+	a.PC = mem.Addr(uint64(t.lastPC))
+	a.Write = flags&1 != 0
+	a.Gap = int(flags >> 1)
+	return true
+}
+
+// Record drains up to n accesses from src into w.
+func Record(w *Writer, src Reader, n uint64) (uint64, error) {
+	var a Access
+	var i uint64
+	for i = 0; i < n && src.Next(&a); i++ {
+		if err := w.Write(a); err != nil {
+			return i, err
+		}
+	}
+	return i, w.Flush()
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	memp "repro/internal/mem"
+)
+
+func toAddr(v uint64) memp.Addr { return memp.Addr(v) }
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	src := NewStreams(1, 3, StreamSpec{Stride: 8, Footprint: 1 << 20},
+		StreamSpec{Stride: -64, Footprint: 1 << 20, Write: true})
+	n, err := Record(w, src, 5000)
+	if err != nil || n != 5000 {
+		t.Fatalf("Record: n=%d err=%v", n, err)
+	}
+
+	// Replaying must reproduce the generator exactly.
+	ref := NewStreams(1, 3, StreamSpec{Stride: 8, Footprint: 1 << 20},
+		StreamSpec{Stride: -64, Footprint: 1 << 20, Write: true})
+	r := NewFileReader(bytes.NewReader(buf.Bytes()))
+	var got, want Access
+	for i := 0; i < 5000; i++ {
+		if !r.Next(&got) {
+			t.Fatalf("replay ended at %d: %v", i, r.Err())
+		}
+		ref.Next(&want)
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if r.Next(&got) {
+		t.Error("replay produced extra records")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF reported error: %v", r.Err())
+	}
+}
+
+func TestCompressionOnStrides(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	src := NewStreams(1, 2, StreamSpec{Stride: 8, Footprint: 1 << 22})
+	Record(w, src, 10000)
+	// A pure stride should cost ~3 bytes per record (flags + 2 tiny deltas).
+	if per := float64(buf.Len()) / 10000; per > 4 {
+		t.Errorf("stride trace costs %.1f bytes/record, want ≤ 4", per)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	r := NewFileReader(bytes.NewReader([]byte("NOPE\x01abcdef")))
+	var a Access
+	if r.Next(&a) {
+		t.Error("bad magic accepted")
+	}
+	if r.Err() == nil {
+		t.Error("no error reported for bad magic")
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	r := NewFileReader(bytes.NewReader([]byte("PSAT\x63abc")))
+	var a Access
+	if r.Next(&a) {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestTruncatedTraceReportsError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Access{VAddr: 0x1000, PC: 0x400000, Gap: 2})
+	w.Write(Access{VAddr: 0x2000, PC: 0x400004, Gap: 2})
+	w.Flush()
+	cut := buf.Bytes()[:buf.Len()-1]
+	r := NewFileReader(bytes.NewReader(cut))
+	var a Access
+	n := 0
+	for r.Next(&a) {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("read %d records from truncated trace, want 1", n)
+	}
+	if r.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestGapClamped(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Access{VAddr: 0x1000, Gap: 500})
+	w.Flush()
+	r := NewFileReader(bytes.NewReader(buf.Bytes()))
+	var a Access
+	if !r.Next(&a) {
+		t.Fatal(r.Err())
+	}
+	if a.Gap != 127 {
+		t.Errorf("gap = %d, want clamp at 127", a.Gap)
+	}
+}
+
+// Property: arbitrary access sequences round-trip exactly (within the gap
+// clamp).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		var in []Access
+		for i, v := range raw {
+			a := Access{
+				VAddr: toAddr(v),
+				PC:    toAddr(v >> 7),
+				Write: v&1 != 0,
+				Gap:   int(v % 128),
+			}
+			in = append(in, a)
+			if err := w.Write(a); err != nil {
+				return false
+			}
+			_ = i
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewFileReader(bytes.NewReader(buf.Bytes()))
+		var got Access
+		for i := range in {
+			if !r.Next(&got) || got != in[i] {
+				return false
+			}
+		}
+		return !r.Next(&got) && r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

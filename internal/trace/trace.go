@@ -1,0 +1,82 @@
+// Package trace provides the workload substrate: a memory-access trace
+// interface and a catalogue of deterministic synthetic workload generators
+// standing in for the paper's trace sets (SPEC CPU 2006/2017, GAP road
+// graphs, CloudSuite, mlpack, and the Qualcomm QMM/CVP-1 traces).
+//
+// The generators are parameterised along the two axes the paper's mechanism
+// is sensitive to: the spatial shape of the access pattern relative to 4KB
+// region boundaries, and the fraction of the footprint the OS backs with 2MB
+// pages (each workload carries a THP policy mirroring the Figure 3
+// measurements).
+package trace
+
+import (
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// Access is one traced memory operation. Gap is the number of non-memory
+// instructions preceding it, so instruction counts (and IPC) are meaningful.
+type Access struct {
+	PC    mem.Addr
+	VAddr mem.Addr
+	Write bool
+	Gap   int
+}
+
+// Reader produces a stream of accesses. Generators are infinite; the core
+// stops at its instruction budget.
+type Reader interface {
+	// Next fills a with the next access and reports whether one was
+	// produced.
+	Next(a *Access) bool
+}
+
+// Workload names a reproducible benchmark stand-in.
+type Workload struct {
+	// Name is the benchmark name as used in the paper's figures.
+	Name string
+	// Description summarises the modelled access behaviour.
+	Description string
+	// Suite groups workloads for Figure 9: SPEC06, SPEC17, GAP, CLOUD, ML,
+	// QMM.
+	Suite string
+	// Intensive marks LLC-MPKI ≥ 1 workloads (the paper's main set).
+	Intensive bool
+	// THP is the transparent-huge-page policy the OS applies to this
+	// workload's memory, controlling its Figure 3 profile.
+	THP vm.THPPolicy
+	// New creates the access stream. Streams are deterministic given seed.
+	New func(seed uint64) Reader
+}
+
+// rng is a splitmix64 PRNG — deterministic, allocation-free.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed*0x9e3779b97f4a7c15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Base virtual addresses: each workload region is 2MB-aligned and regions are
+// spaced far apart so distinct arrays never share a huge page.
+const (
+	regionSpacing = mem.Addr(1) << 32
+	baseAddr      = mem.Addr(0x10000000)
+)
+
+// arrayBase returns the virtual base address of a workload's k-th array.
+func arrayBase(k int) mem.Addr { return baseAddr + mem.Addr(k)*regionSpacing }

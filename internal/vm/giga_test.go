@@ -1,0 +1,107 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// gigaAll requests 1GB backing for every 1GB region (hugetlbfs analogue).
+type gigaAll struct{ FractionTHP }
+
+func (gigaAll) Use1GB(mem.Addr) bool { return true }
+
+func TestAlloc1GAlignedAndAccounted(t *testing.T) {
+	a := NewAllocator(8<<30, 1)
+	f := a.Alloc1G()
+	if f%mem.PageSize1G != 0 {
+		t.Errorf("1GB frame %#x not aligned", f)
+	}
+	if a.Bytes1G != mem.PageSize1G {
+		t.Errorf("Bytes1G = %d", a.Bytes1G)
+	}
+	if got := a.PageSizeOf(f + 0x12345); got != mem.Page1G {
+		t.Errorf("PageSizeOf inside 1GB page = %v", got)
+	}
+	if got := a.PageSizeOf(f - 1); got == mem.Page1G {
+		t.Errorf("PageSizeOf below the region misreported 1GB")
+	}
+}
+
+func TestSmallAllocatorHasNoGigaRegion(t *testing.T) {
+	a := NewAllocator(1<<30, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc1G on a 1GB machine did not panic")
+		}
+	}()
+	a.Alloc1G()
+}
+
+func TestSmallFramesAvoidGigaRegion(t *testing.T) {
+	a := NewAllocator(8<<30, 3)
+	giga := a.Alloc1G()
+	for i := 0; i < 4096; i++ {
+		f := a.Alloc4K()
+		if f >= giga && f < giga+mem.PageSize1G {
+			t.Fatalf("4KB frame %#x inside the reserved 1GB region", f)
+		}
+	}
+}
+
+func TestAddressSpace1GBMapping(t *testing.T) {
+	a := NewAllocator(8<<30, 5)
+	as := NewAddressSpace(a, gigaAll{})
+	v := mem.Addr(0x40000000) // 1GB-aligned
+	tr := as.Translate(v + 0x123456)
+	if tr.Size != mem.Page1G {
+		t.Fatalf("size = %v, want 1GB", tr.Size)
+	}
+	// The whole 1GB region is physically contiguous.
+	tr2 := as.Translate(v + 900<<20)
+	if tr2.PAddr != mem.PageBase(tr.PAddr, mem.Page1G)+900<<20 {
+		t.Errorf("1GB region not contiguous: %#x", tr2.PAddr)
+	}
+	// A 1GB walk touches only 2 page-table levels.
+	walk, _ := as.WalkFor(v)
+	if walk.Levels != 2 {
+		t.Errorf("1GB walk levels = %d, want 2", walk.Levels)
+	}
+}
+
+func TestTLB1GBEntryCoversRegion(t *testing.T) {
+	tlb := NewTLB(64, 4)
+	base := mem.Addr(0x40000000)
+	tlb.Insert(base, Translation{PAddr: 1 << 31, Size: mem.Page1G})
+	got, ok := tlb.Lookup(base + 512<<20)
+	if !ok {
+		t.Fatal("1GB entry did not cover in-region address")
+	}
+	if got.Size != mem.Page1G || got.PAddr != 1<<31+512<<20 {
+		t.Errorf("translation = %+v", got)
+	}
+}
+
+func TestMMU1GBWalkShortest(t *testing.T) {
+	a := NewAllocator(8<<30, 7)
+	as := NewAddressSpace(a, gigaAll{})
+	refs := 0
+	port := mem.PortFunc(func(req *mem.Request, at mem.Cycle) mem.Cycle {
+		refs++
+		return at
+	})
+	m := NewMMU(as, DefaultMMUConfig(), 0, port)
+	m.Translate(0x40000000, 0)
+	if refs != 2 {
+		t.Errorf("1GB walk refs = %d, want 2", refs)
+	}
+}
+
+func TestPageSizeConstants(t *testing.T) {
+	if mem.Page1G.Bytes() != 1<<30 || mem.Page1G.String() != "1GB" {
+		t.Error("Page1G geometry wrong")
+	}
+	if mem.NumPageSizes != 3 || mem.PPMBits != 2 {
+		t.Error("PPM sizing constants wrong")
+	}
+}

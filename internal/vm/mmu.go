@@ -1,0 +1,233 @@
+package vm
+
+import (
+	"repro/internal/mem"
+)
+
+// pwcEntry caches an interior page-table entry (PML4/PDPT/PD level), keyed by
+// the virtual-address prefix it translates. These are the MMU caches / page
+// structure caches of Section II-B that let walks skip upper-level references.
+type pwcEntry struct {
+	level int
+	key   mem.Addr
+	valid bool
+	lru   uint64
+}
+
+// WalkCache is a small fully-associative MMU cache over interior page-table
+// entries.
+type WalkCache struct {
+	entries []pwcEntry
+	tick    uint64
+	Hits    uint64
+	Lookups uint64
+}
+
+// NewWalkCache creates a walk cache with n entries.
+func NewWalkCache(n int) *WalkCache {
+	return &WalkCache{entries: make([]pwcEntry, n)}
+}
+
+func (w *WalkCache) contains(level int, key mem.Addr) bool {
+	w.Lookups++
+	w.tick++
+	for i := range w.entries {
+		e := &w.entries[i]
+		if e.valid && e.level == level && e.key == key {
+			e.lru = w.tick
+			w.Hits++
+			return true
+		}
+	}
+	return false
+}
+
+func (w *WalkCache) insert(level int, key mem.Addr) {
+	w.tick++
+	victim := 0
+	for i := range w.entries {
+		if !w.entries[i].valid {
+			victim = i
+			break
+		}
+		if w.entries[i].lru < w.entries[victim].lru {
+			victim = i
+		}
+	}
+	w.entries[victim] = pwcEntry{level: level, key: key, valid: true, lru: w.tick}
+}
+
+// MMUConfig sets the TLB hierarchy geometry and latencies (Table I).
+type MMUConfig struct {
+	L1Entries, L1Ways int
+	L2Entries, L2Ways int
+	L2Latency         mem.Cycle
+	WalkCacheEntries  int
+
+	// TLBPrefetch enables a simple distance-1 TLB prefetcher: after a page
+	// walk for page P, the translations of the neighbouring pages are walked
+	// in the background (consuming real walk traffic) and installed in the
+	// L2 TLB. This is the synergistic TLB prefetcher the paper's footnote 3
+	// names as a promising direction for improving the timeliness of
+	// page-crossing prefetching.
+	TLBPrefetch bool
+}
+
+// DefaultMMUConfig mirrors Table I: 64-entry 4-way L1 DTLB (1 cycle, folded
+// into the L1D access), 1536-entry 12-way L2 TLB at 8 cycles.
+func DefaultMMUConfig() MMUConfig {
+	return MMUConfig{
+		L1Entries: 64, L1Ways: 4,
+		L2Entries: 1536, L2Ways: 12,
+		L2Latency:        8,
+		WalkCacheEntries: 32,
+	}
+}
+
+// MMU models one core's translation machinery: L1 DTLB, L2 TLB, MMU caches,
+// and a page-table walker whose references are injected into the cache
+// hierarchy through the walk port.
+type MMU struct {
+	space *AddressSpace
+	l1    *TLB
+	l2    *TLB
+	pwc   *WalkCache
+	cfg   MMUConfig
+	core  int
+
+	// walkPort receives the walker's PageWalk references; in the assembled
+	// system it is the L1D, so walks contend for the same cache hierarchy
+	// as demand traffic (L1D→L2→LLC→DRAM).
+	walkPort mem.Port
+
+	Walks    uint64
+	WalkRefs uint64
+	// TLBPrefetches counts background translations installed by the TLB
+	// prefetcher; TLBPrefetchHits counts L2 TLB hits on them (approximated
+	// by hits following an install).
+	TLBPrefetches uint64
+}
+
+// NewMMU builds an MMU over space for the given core. walkPort may be nil, in
+// which case walks cost zero memory time (useful in unit tests).
+func NewMMU(space *AddressSpace, cfg MMUConfig, core int, walkPort mem.Port) *MMU {
+	return &MMU{
+		space:    space,
+		l1:       NewTLB(cfg.L1Entries, cfg.L1Ways),
+		l2:       NewTLB(cfg.L2Entries, cfg.L2Ways),
+		pwc:      NewWalkCache(cfg.WalkCacheEntries),
+		cfg:      cfg,
+		core:     core,
+		walkPort: walkPort,
+	}
+}
+
+// L1 exposes the first-level TLB for statistics.
+func (m *MMU) L1() *TLB { return m.l1 }
+
+// L2 exposes the second-level TLB for statistics.
+func (m *MMU) L2() *TLB { return m.l2 }
+
+// Space returns the translated address space.
+func (m *MMU) Space() *AddressSpace { return m.space }
+
+// Translate resolves v at cycle `at` and returns the translation plus the
+// cycle at which it is available. The L1 TLB lookup is folded into the cache
+// access (VIPT first-level cache); misses add L2 TLB latency and, on an L2
+// miss, a full page walk through the memory hierarchy.
+func (m *MMU) Translate(v mem.Addr, at mem.Cycle) (Translation, mem.Cycle) {
+	if tr, ok := m.l1.Lookup(v); ok {
+		return tr, at
+	}
+	if tr, ok := m.l2.Lookup(v); ok {
+		m.l1.Insert(v, tr)
+		return tr, at + m.cfg.L2Latency
+	}
+	walk, tr := m.space.WalkFor(v)
+	m.Walks++
+	done := at + m.cfg.L2Latency // the L2 TLB miss is discovered first
+	for i, ref := range walk.Refs {
+		last := i == len(walk.Refs)-1
+		// Interior levels may be served by the MMU caches; the leaf entry is
+		// always fetched from the memory hierarchy.
+		key := v >> uint(12+9*(numLevels-1-i))
+		if !last && m.pwc.contains(i, key) {
+			continue
+		}
+		if !last {
+			m.pwc.insert(i, key)
+		}
+		m.WalkRefs++
+		if m.walkPort != nil {
+			req := &mem.Request{
+				PAddr: mem.BlockAlign(ref),
+				Type:  mem.PageWalk,
+				Core:  m.core,
+				// Page-table nodes live in 4KB frames.
+				PageSize:      mem.Page4K,
+				PageSizeKnown: true,
+			}
+			done = m.walkPort.Access(req, done)
+		}
+	}
+	m.l2.Insert(v, tr)
+	m.l1.Insert(v, tr)
+	if m.cfg.TLBPrefetch {
+		m.prefetchTranslation(v+tr.Size.Bytes(), done)
+		if v >= tr.Size.Bytes() {
+			m.prefetchTranslation(v-tr.Size.Bytes(), done)
+		}
+	}
+	return tr, done
+}
+
+// prefetchTranslation walks the page containing v in the background and
+// installs its translation in the L2 TLB. Speculation never creates
+// mappings: unmapped neighbours are skipped.
+func (m *MMU) prefetchTranslation(v mem.Addr, at mem.Cycle) {
+	if _, hit := m.l2.Lookup(v); hit {
+		return
+	}
+	walk, ok := m.space.PageTable().Walk(v)
+	if !ok {
+		return
+	}
+	m.TLBPrefetches++
+	t := at
+	for i, ref := range walk.Refs {
+		last := i == len(walk.Refs)-1
+		key := v >> uint(12+9*(numLevels-1-i))
+		if !last && m.pwc.contains(i, key) {
+			continue
+		}
+		m.WalkRefs++
+		if m.walkPort != nil {
+			req := &mem.Request{
+				PAddr:         mem.BlockAlign(ref),
+				Type:          mem.PageWalk,
+				Core:          m.core,
+				PageSize:      mem.Page4K,
+				PageSizeKnown: true,
+			}
+			t = m.walkPort.Access(req, t)
+		}
+	}
+	off := v & (walk.PTE.Size.Bytes() - 1)
+	m.l2.Insert(v, Translation{PAddr: walk.PTE.Frame + off, Size: walk.PTE.Size})
+}
+
+// Resident reports whether the translation for v is present in either TLB
+// level, without perturbing hit statistics or LRU state beyond a probe. It is
+// used by the IPCP++ variant, which crosses 4KB boundaries only when the
+// target page's translation is TLB-resident.
+func (m *MMU) Resident(v mem.Addr) bool {
+	h1, mi1 := m.l1.Hits, m.l1.Misses
+	h2, mi2 := m.l2.Hits, m.l2.Misses
+	_, ok := m.l1.Lookup(v)
+	if !ok {
+		_, ok = m.l2.Lookup(v)
+	}
+	m.l1.Hits, m.l1.Misses = h1, mi1
+	m.l2.Hits, m.l2.Misses = h2, mi2
+	return ok
+}

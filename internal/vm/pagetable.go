@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"repro/internal/mem"
+)
+
+// Radix-tree level indices for x86-64 4-level paging: PML4, PDPT, PD, PT.
+// A 1GB mapping terminates at the PDPT level (2 node accesses per walk), a
+// 2MB mapping at the PD level (3 accesses), and a 4KB mapping continues to
+// the PT level (4 accesses).
+const (
+	levelPML4 = 0
+	levelPDPT = 1
+	levelPD   = 2
+	levelPT   = 3
+	numLevels = 4
+)
+
+// vaIndex extracts the 9-bit radix index of v at the given level.
+func vaIndex(v mem.Addr, level int) int {
+	shift := uint(12 + 9*(numLevels-1-level)) // PML4: 39, PDPT: 30, PD: 21, PT: 12
+	return int((v >> shift) & 0x1ff)
+}
+
+// PTE is a leaf page-table entry.
+type PTE struct {
+	Frame mem.Addr // physical base of the mapped page
+	Size  mem.PageSize
+	Valid bool
+}
+
+// ptNode is one radix-tree node. Child and leaf maps are sparse because
+// workloads touch a tiny portion of the 256TB virtual space.
+type ptNode struct {
+	phys  mem.Addr // physical base of this node (walk references target it)
+	child map[int]*ptNode
+	leaf  map[int]PTE
+}
+
+func newPTNode(phys mem.Addr) *ptNode {
+	return &ptNode{phys: phys, child: make(map[int]*ptNode), leaf: make(map[int]PTE)}
+}
+
+// PageTable is a 4-level x86-64-style radix page table whose nodes occupy
+// simulated physical memory, so that page walks generate real references into
+// the cache hierarchy.
+type PageTable struct {
+	alloc *Allocator
+	root  *ptNode
+	pages int // number of leaf mappings
+}
+
+// NewPageTable creates an empty page table drawing node frames from alloc.
+func NewPageTable(alloc *Allocator) *PageTable {
+	return &PageTable{alloc: alloc, root: newPTNode(alloc.AllocPTNode())}
+}
+
+// Map installs a leaf mapping for the page of size pte.Size containing v.
+// Mapping an already-mapped page panics: the address space owns dedup.
+func (pt *PageTable) Map(v mem.Addr, pte PTE) {
+	n := pt.root
+	lastLevel := levelPT
+	switch pte.Size {
+	case mem.Page2M:
+		lastLevel = levelPD
+	case mem.Page1G:
+		lastLevel = levelPDPT
+	}
+	for level := levelPML4; level < lastLevel; level++ {
+		idx := vaIndex(v, level)
+		c, ok := n.child[idx]
+		if !ok {
+			c = newPTNode(pt.alloc.AllocPTNode())
+			n.child[idx] = c
+		}
+		n = c
+	}
+	idx := vaIndex(v, lastLevel)
+	if _, dup := n.leaf[idx]; dup {
+		panic("vm: double mapping")
+	}
+	n.leaf[idx] = pte
+	pt.pages++
+}
+
+// WalkResult describes a completed page-table walk.
+type WalkResult struct {
+	PTE PTE
+	// Refs are the physical addresses of the page-table entries read by the
+	// walker, in root-to-leaf order: 4 for a 4KB mapping, 3 for a 2MB one.
+	Refs []mem.Addr
+	// Levels is len(Refs).
+	Levels int
+}
+
+// Walk resolves v, returning the leaf PTE and the per-level entry addresses.
+// The boolean result is false when v is unmapped.
+func (pt *PageTable) Walk(v mem.Addr) (WalkResult, bool) {
+	var res WalkResult
+	n := pt.root
+	for level := levelPML4; level < numLevels; level++ {
+		idx := vaIndex(v, level)
+		entryAddr := n.phys + mem.Addr(idx)*8
+		res.Refs = append(res.Refs, entryAddr)
+		if pte, ok := n.leaf[idx]; ok {
+			// A 2MB leaf sits at the PD level, a 4KB leaf at the PT level.
+			res.PTE = pte
+			res.Levels = len(res.Refs)
+			return res, true
+		}
+		c, ok := n.child[idx]
+		if !ok {
+			return WalkResult{}, false
+		}
+		n = c
+	}
+	return WalkResult{}, false
+}
+
+// Lookup resolves v without recording walk references.
+func (pt *PageTable) Lookup(v mem.Addr) (PTE, bool) {
+	r, ok := pt.Walk(v)
+	return r.PTE, ok
+}
+
+// Pages returns the number of installed leaf mappings.
+func (pt *PageTable) Pages() int { return pt.pages }

@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"repro/internal/mem"
+)
+
+// tlbEntry caches one translation. Entries for 2MB pages cover the whole 2MB
+// region, increasing TLB reach exactly as in real hardware.
+type tlbEntry struct {
+	vpn   mem.Addr // page number for the entry's own size
+	frame mem.Addr // physical page base
+	size  mem.PageSize
+	valid bool
+	lru   uint64
+}
+
+// TLB is a set-associative translation lookaside buffer supporting 4KB and
+// 2MB entries in a unified array. Lookups probe the 4KB index first and the
+// 2MB index second (a dual-probe unified design).
+type TLB struct {
+	sets, ways int
+	entries    []tlbEntry // sets × ways
+	tick       uint64
+
+	Hits, Misses uint64
+}
+
+// NewTLB creates a TLB with the given geometry. entries must be divisible by
+// ways.
+func NewTLB(entries, ways int) *TLB {
+	if entries%ways != 0 {
+		panic("vm: TLB entries not divisible by ways")
+	}
+	return &TLB{
+		sets:    entries / ways,
+		ways:    ways,
+		entries: make([]tlbEntry, entries),
+	}
+}
+
+func (t *TLB) set(vpn mem.Addr) []tlbEntry {
+	s := int(vpn) % t.sets
+	if s < 0 {
+		s = -s
+	}
+	return t.entries[s*t.ways : (s+1)*t.ways]
+}
+
+// Lookup probes the TLB for v. On a hit it returns the translation.
+func (t *TLB) Lookup(v mem.Addr) (Translation, bool) {
+	t.tick++
+	for _, size := range [3]mem.PageSize{mem.Page4K, mem.Page2M, mem.Page1G} {
+		vpn := mem.PageNumber(v, size)
+		set := t.set(vpn)
+		for i := range set {
+			e := &set[i]
+			if e.valid && e.size == size && e.vpn == vpn {
+				e.lru = t.tick
+				t.Hits++
+				off := v & (size.Bytes() - 1)
+				return Translation{PAddr: e.frame + off, Size: size}, true
+			}
+		}
+	}
+	t.Misses++
+	return Translation{}, false
+}
+
+// Insert installs a translation for v, evicting the set's LRU entry.
+func (t *TLB) Insert(v mem.Addr, tr Translation) {
+	t.tick++
+	vpn := mem.PageNumber(v, tr.Size)
+	set := t.set(vpn)
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.size == tr.Size && e.vpn == vpn {
+			e.lru = t.tick // refresh duplicate
+			return
+		}
+		if !e.valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{
+		vpn:   vpn,
+		frame: mem.PageBase(tr.PAddr, tr.Size),
+		size:  tr.Size,
+		valid: true,
+		lru:   t.tick,
+	}
+}
+
+// Flush invalidates all entries.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
