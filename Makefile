@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz-seeds golden-update check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race is the tier the determinism and cache-concurrency tests are written
+# for: runBatch at Parallelism 8, single-flight cache fills, concurrent
+# writers to one cache directory.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fuzz-seeds replays every checked-in fuzz seed corpus as plain tests (no
+# fuzzing engine), catching trace-format regressions deterministically.
+fuzz-seeds:
+	$(GO) test -run=Fuzz ./internal/trace/
+
+# golden-update regenerates the checked-in figure snapshots after an
+# intentional figure change. Inspect the diff before committing.
+golden-update:
+	$(GO) test ./internal/experiments -run TestGolden -update
+
+# check is the full CI gate.
+check: vet build test race fuzz-seeds

@@ -7,42 +7,90 @@
 //	pexp -fig 14 -mixes 100          # the paper's full 100 mixes
 //	pexp -fig all                    # everything (slow)
 //	pexp -list                       # show available experiments
+//
+// Simulation results are memoized in a content-addressed disk cache (keyed
+// by machine config, prefetcher spec, workload, and run options), so
+// re-running a figure — or resuming an interrupted `-fig all` — only
+// simulates what is missing. Disable with -no-cache, relocate with
+// -cache-dir, invalidate by deleting the directory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/simcache"
 )
 
-func main() {
+// defaultCacheDir places the result cache under the OS user cache directory,
+// falling back to a dot directory in the working tree.
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "psat-repro", "simcache")
+	}
+	return ".simcache"
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		fig     = flag.String("fig", "", "experiment to run (fig2..fig15, nonintensive, table1, all)")
-		list    = flag.Bool("list", false, "list available experiments")
-		warmup  = flag.Uint64("warmup", 200_000, "warm-up instructions per run")
-		instr   = flag.Uint64("instr", 1_000_000, "measured instructions per run")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations")
-		mixes   = flag.Int("mixes", 20, "multi-core mixes for fig14/fig15")
-		wl      = flag.String("workloads", "", "comma-separated workload subset (default: all intensive)")
-		check   = flag.Bool("check", false, "verify the paper-shape invariants and exit nonzero on violation")
-		base    = flag.String("base", "", "prefetcher for per-prefetcher studies (fig8): spp, vldp, ppf, bop, sms, ampm, temporal")
-		htmlOut = flag.String("html", "", "also write an HTML report (with SVG charts) to this file")
+		fig        = flag.String("fig", "", "experiment to run (fig2..fig15, nonintensive, table1, all)")
+		list       = flag.Bool("list", false, "list available experiments")
+		warmup     = flag.Uint64("warmup", 200_000, "warm-up instructions per run")
+		instr      = flag.Uint64("instr", 1_000_000, "measured instructions per run")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		par        = flag.Int("par", runtime.NumCPU(), "parallel simulations")
+		mixes      = flag.Int("mixes", 20, "multi-core mixes for fig14/fig15")
+		wl         = flag.String("workloads", "", "comma-separated workload subset (default: all intensive)")
+		check      = flag.Bool("check", false, "verify the paper-shape invariants and exit nonzero on violation")
+		base       = flag.String("base", "", "prefetcher for per-prefetcher studies (fig8): spp, vldp, ppf, bop, sms, ampm, temporal")
+		htmlOut    = flag.String("html", "", "also write an HTML report (with SVG charts) to this file")
+		noCache    = flag.Bool("no-cache", false, "disable the simulation result cache")
+		cacheDir   = flag.String("cache-dir", defaultCacheDir(), "simulation result cache directory")
+		quiet      = flag.Bool("quiet", false, "suppress live progress reporting")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("available experiments:", strings.Join(experiments.Names, ", "))
-		return
+		return 0
 	}
 	if *fig == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
 	}
 
 	o := experiments.DefaultOptions()
@@ -52,11 +100,23 @@ func main() {
 	o.Parallelism = *par
 	o.Mixes = *mixes
 	o.Base = *base
+	if !*quiet {
+		o.Progress = os.Stderr
+	}
+	if !*noCache {
+		store, err := simcache.New(*cacheDir)
+		if err != nil {
+			// A cache that cannot be opened degrades to uncached runs.
+			fmt.Fprintln(os.Stderr, "warning: result cache disabled:", err)
+		} else {
+			o.Cache = store
+		}
+	}
 	if *wl != "" {
 		ws, err := experiments.WorkloadsByName(strings.Split(*wl, ","))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		o.Workloads = ws
 	}
@@ -74,7 +134,7 @@ func main() {
 		r, err := experiments.Run(name, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(r.Render())
 		if *check {
@@ -82,7 +142,7 @@ func main() {
 				for _, e := range errs {
 					fmt.Fprintln(os.Stderr, "SHAPE VIOLATION:", e)
 				}
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println("shape checks: PASS")
 		}
@@ -92,17 +152,23 @@ func main() {
 			Result experiments.Renderer
 		}{name, r})
 	}
+	if o.Cache != nil {
+		s := o.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d shared, %d simulated (%.0f%% hit rate)\n",
+			o.Cache.Dir(), s.Hits, s.Shared, s.Misses, s.HitRate()*100)
+	}
 	if *htmlOut != "" {
 		f, err := os.Create(*htmlOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := experiments.WriteHTMLReport(f, "Page Size Aware Cache Prefetching — reproduction report", collected); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("HTML report written to", *htmlOut)
 	}
+	return 0
 }

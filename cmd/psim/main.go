@@ -13,10 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -68,7 +71,17 @@ func variantByName(s string) (core.Variant, error) {
 	return 0, fmt.Errorf("unknown variant %q", s)
 }
 
-func main() {
+// defaultCacheDir matches pexp's default, so the two commands share entries.
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "psat-repro", "simcache")
+	}
+	return ".simcache"
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload    = flag.String("workload", "", "workload name (see -workloads)")
 		traceFile   = flag.String("trace", "", "replay a recorded PSAT trace instead of a generator")
@@ -81,13 +94,16 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		listWs      = flag.Bool("workloads", false, "list workloads and exit")
 		printConfig = flag.Bool("print-config", false, "print the Table I configuration and exit")
+		noCache     = flag.Bool("no-cache", false, "disable the simulation result cache")
+		cacheDir    = flag.String("cache-dir", defaultCacheDir(), "simulation result cache directory")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
 	if *printConfig {
 		fmt.Println(cfg.String())
-		return
+		return 0
 	}
 	if *listWs {
 		for _, w := range trace.All() {
@@ -97,11 +113,25 @@ func main() {
 			}
 			fmt.Printf("%-18s %-7s %s%s\n", w.Name, w.Suite, w.Description, tag)
 		}
-		return
+		return 0
 	}
 	if *workload == "" && *traceFile == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var w trace.Workload
@@ -113,20 +143,38 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	v, err := variantByName(*variant)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	spec := sim.PrefSpec{Base: *pref, Variant: v, L1: sim.L1Pref(*l1)}
-	res, err := sim.Run(cfg, spec, w, sim.RunOpt{
-		Warmup: *warmup, Instructions: *instr, Seed: *seed, Samples: 8,
-	})
+	opt := sim.RunOpt{Warmup: *warmup, Instructions: *instr, Seed: *seed, Samples: 8}
+
+	runSim := func() (sim.Result, error) { return sim.Run(cfg, spec, w, opt) }
+	var res sim.Result
+	// Trace replays are keyed by file path only — contents could change under
+	// the same name — so they bypass the cache.
+	if !*noCache && *traceFile == "" {
+		store, serr := simcache.New(*cacheDir)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "warning: result cache disabled:", serr)
+			res, err = runSim()
+		} else {
+			var hit bool
+			res, hit, err = store.Do(simcache.Key(cfg, spec, w, opt), runSim)
+			if hit {
+				fmt.Fprintln(os.Stderr, "(result served from cache; -no-cache to re-simulate)")
+			}
+		}
+	} else {
+		res, err = runSim()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("workload:      %s (%s)\n", res.Workload, w.Suite)
@@ -149,4 +197,5 @@ func main() {
 		res.TLBL1Hits, res.TLBL1Misses, res.TLBL2Hits, res.TLBL2Misses, res.Walks)
 	fmt.Printf("DRAM: reads %d writes %d row-hit %.2f\n",
 		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHitRate())
+	return 0
 }

@@ -9,11 +9,16 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"strconv"
 	"strings"
 	"sync"
 
+	"repro/internal/progress"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/trace"
 )
 
@@ -31,6 +36,16 @@ type Options struct {
 	// Base selects the prefetcher for per-prefetcher studies (fig8); "spp"
 	// when empty.
 	Base string
+	// Cache memoizes single-core simulation results on disk, so repeated or
+	// interrupted figure runs only simulate cache misses. Nil disables
+	// caching.
+	Cache *simcache.Store
+	// Progress receives live per-batch status lines (jobs done/total, cache
+	// hit rate, sims/sec, ETA), rewritten in place with carriage returns.
+	// Nil disables reporting.
+	Progress io.Writer
+	// Label prefixes progress lines; Run sets it to the experiment name.
+	Label string
 }
 
 // DefaultOptions returns a laptop-scale configuration: long enough for the
@@ -69,7 +84,9 @@ type job struct {
 }
 
 // runBatch executes all jobs with bounded parallelism, returning results in
-// job order.
+// job order. When a result cache is configured, each job first consults it
+// and only cache misses simulate. Every failed job's error is surfaced,
+// joined, rather than just the first.
 func runBatch(o Options, jobs []job) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
@@ -77,6 +94,7 @@ func runBatch(o Options, jobs []job) ([]sim.Result, error) {
 	if par <= 0 {
 		par = 1
 	}
+	tr := progress.New(o.Progress, o.Label, len(jobs))
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, j := range jobs {
@@ -85,16 +103,32 @@ func runBatch(o Options, jobs []job) ([]sim.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = sim.Run(o.Config, j.Spec, j.Workload, o.runOpt())
+			var hit bool
+			results[i], hit, errs[i] = runOne(o, j)
+			tr.Step(hit)
 		}(i, j)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	tr.Finish()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// runOne executes (or recalls) a single simulation, reporting whether it was
+// served from the cache. In-process duplicates of one key — common when
+// figure batches share baselines — are de-duplicated by the store's
+// single-flight Do.
+func runOne(o Options, j job) (sim.Result, bool, error) {
+	if o.Cache == nil {
+		r, err := sim.Run(o.Config, j.Spec, j.Workload, o.runOpt())
+		return r, false, err
+	}
+	key := simcache.Key(o.Config, j.Spec, j.Workload, o.runOpt())
+	return o.Cache.Do(key, func() (sim.Result, error) {
+		return sim.Run(o.Config, j.Spec, j.Workload, o.runOpt())
+	})
 }
 
 // speedupPct converts an IPC pair into percent speedup.
@@ -119,6 +153,13 @@ type Renderer interface {
 
 // Run dispatches an experiment by name.
 func Run(name string, o Options) (Renderer, error) {
+	if o.Label == "" {
+		o.Label = strings.ToLower(name)
+		// Bare figure numbers ("-fig 8") label as the canonical name.
+		if _, err := strconv.Atoi(o.Label); err == nil {
+			o.Label = "fig" + o.Label
+		}
+	}
 	switch strings.ToLower(name) {
 	case "fig2", "2":
 		return Figure2(o)

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/progress"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -151,17 +153,18 @@ func multicore(o Options, cores int) (*MultiResult, error) {
 		}
 		wsVals[name][idx] = v
 	}
-	var firstErr error
-	runOne := func(name string, spec sim.PrefSpec, idx int) {
+	nRuns := len(mixes) * (len(baselines) + len(schemes))
+	tr := progress.New(o.Progress, o.Label+" mixes", nRuns)
+	var errs []error // every failed run's error, joined below
+	runMix := func(name string, spec sim.PrefSpec, idx int) {
 		defer wg.Done()
 		sem <- struct{}{}
 		defer func() { <-sem }()
 		v, err := ws(mixes[idx], spec)
+		tr.Step(false)
 		if err != nil {
 			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
+			errs = append(errs, fmt.Errorf("mix %d, %s: %w", idx, name, err))
 			mu.Unlock()
 			return
 		}
@@ -170,16 +173,17 @@ func multicore(o Options, cores int) (*MultiResult, error) {
 	for idx := range mixes {
 		for _, b := range baselines {
 			wg.Add(1)
-			go runOne(b.name, b.spec, idx)
+			go runMix(b.name, b.spec, idx)
 		}
 		for _, s := range schemes {
 			wg.Add(1)
-			go runOne(s.name, s.spec, idx)
+			go runMix(s.name, s.spec, idx)
 		}
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	tr.Finish()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 
 	for _, s := range schemes {

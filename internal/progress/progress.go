@@ -1,0 +1,142 @@
+// Package progress reports live status for a batch of simulations: jobs
+// done/total, cache hit rate, simulation throughput, and an ETA. Lines are
+// rewritten in place with carriage returns, so the output is meant for a
+// terminal; pass a nil writer to keep the counters without printing.
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// printEvery rate-limits terminal updates.
+const printEvery = 100 * time.Millisecond
+
+// Snapshot is the tracker's state at one instant.
+type Snapshot struct {
+	Label    string
+	Done     int // jobs finished (hit or simulated)
+	Total    int
+	Hits     int // jobs served from the result cache
+	Executed int // jobs that ran a simulation
+	Elapsed  time.Duration
+}
+
+// HitRate returns cache hits over finished jobs.
+func (s Snapshot) HitRate() float64 {
+	if s.Done == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Done)
+}
+
+// SimsPerSec returns executed simulations per wall-clock second.
+func (s Snapshot) SimsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Executed) / s.Elapsed.Seconds()
+}
+
+// ETA estimates time to completion from the overall finish rate. Cache hits
+// complete essentially instantly, so the rate is computed over all finished
+// jobs, which adapts automatically to hit-heavy and miss-heavy batches.
+func (s Snapshot) ETA() time.Duration {
+	if s.Done == 0 || s.Done >= s.Total {
+		return 0
+	}
+	perJob := s.Elapsed / time.Duration(s.Done)
+	return perJob * time.Duration(s.Total-s.Done)
+}
+
+// String renders the one-line status.
+func (s Snapshot) String() string {
+	label := s.Label
+	if label == "" {
+		label = "batch"
+	}
+	line := fmt.Sprintf("%s: %d/%d sims", label, s.Done, s.Total)
+	if s.Hits > 0 {
+		line += fmt.Sprintf(", %.0f%% cached", s.HitRate()*100)
+	}
+	if rate := s.SimsPerSec(); rate > 0 {
+		line += fmt.Sprintf(", %.1f sims/s", rate)
+	}
+	if eta := s.ETA(); eta > 0 {
+		line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+	}
+	return line
+}
+
+// Tracker accumulates batch progress and optionally renders it.
+type Tracker struct {
+	mu        sync.Mutex
+	w         io.Writer // nil: count only
+	label     string
+	total     int
+	done      int
+	hits      int
+	executed  int
+	start     time.Time
+	lastPrint time.Time
+	now       func() time.Time // test hook
+}
+
+// New starts tracking a batch of total jobs. w may be nil for a silent
+// tracker; label prefixes every printed line.
+func New(w io.Writer, label string, total int) *Tracker {
+	t := &Tracker{w: w, label: label, total: total, now: time.Now}
+	t.start = t.now()
+	t.lastPrint = t.start // first line appears after printEvery
+	return t
+}
+
+// Step records one finished job; cacheHit marks it as served from the result
+// cache rather than simulated.
+func (t *Tracker) Step(cacheHit bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	if cacheHit {
+		t.hits++
+	} else {
+		t.executed++
+	}
+	if t.w == nil {
+		return
+	}
+	if now := t.now(); now.Sub(t.lastPrint) >= printEvery || t.done == t.total {
+		t.lastPrint = now
+		fmt.Fprintf(t.w, "\r\x1b[K%s", t.snapshotLocked())
+	}
+}
+
+// Finish prints the final state and terminates the status line.
+func (t *Tracker) Finish() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w == nil || t.total == 0 {
+		return
+	}
+	fmt.Fprintf(t.w, "\r\x1b[K%s\n", t.snapshotLocked())
+}
+
+// Snapshot returns the current state.
+func (t *Tracker) Snapshot() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+func (t *Tracker) snapshotLocked() Snapshot {
+	return Snapshot{
+		Label:    t.label,
+		Done:     t.done,
+		Total:    t.total,
+		Hits:     t.hits,
+		Executed: t.executed,
+		Elapsed:  t.now().Sub(t.start),
+	}
+}

@@ -1,0 +1,127 @@
+package progress
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a deterministic amount per call so rate limiting and ETA
+// are testable.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestSnapshotMath(t *testing.T) {
+	s := Snapshot{Label: "fig8", Done: 50, Total: 100, Hits: 20, Executed: 30, Elapsed: 10 * time.Second}
+	if got := s.HitRate(); got != 0.4 {
+		t.Errorf("hit rate = %v", got)
+	}
+	if got := s.SimsPerSec(); got != 3 {
+		t.Errorf("sims/sec = %v", got)
+	}
+	if got := s.ETA(); got != 10*time.Second {
+		t.Errorf("ETA = %v", got)
+	}
+	line := s.String()
+	for _, want := range []string{"fig8: 50/100 sims", "40% cached", "3.0 sims/s", "ETA 10s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	// Degenerate cases must not divide by zero.
+	empty := Snapshot{}
+	if empty.HitRate() != 0 || empty.SimsPerSec() != 0 || empty.ETA() != 0 {
+		t.Error("empty snapshot produced nonzero rates")
+	}
+	if got := (Snapshot{}).String(); !strings.Contains(got, "batch: 0/0") {
+		t.Errorf("unlabeled line = %q", got)
+	}
+}
+
+func TestTrackerCounts(t *testing.T) {
+	tr := New(nil, "x", 4)
+	tr.Step(true)
+	tr.Step(false)
+	tr.Step(false)
+	s := tr.Snapshot()
+	if s.Done != 3 || s.Hits != 1 || s.Executed != 2 || s.Total != 4 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	tr.Finish() // silent tracker: must not panic
+}
+
+func TestTrackerPrintsAndRateLimits(t *testing.T) {
+	var buf strings.Builder
+	clock := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tr := New(&buf, "fig2", 3)
+	tr.now, tr.start, tr.lastPrint = clock.now, clock.t, clock.t
+	tr.Step(false) // 1ms since start: rate-limited away
+	tr.Step(true)  // still under the print interval
+	if buf.Len() != 0 {
+		t.Errorf("printed too early: %q", buf.String())
+	}
+	tr.Step(false) // final job always prints
+	if !strings.Contains(buf.String(), "fig2: 3/3 sims") {
+		t.Errorf("final step line = %q", buf.String())
+	}
+	tr.Finish()
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("Finish did not terminate the line")
+	}
+}
+
+func TestTrackerPrintsAfterInterval(t *testing.T) {
+	var buf strings.Builder
+	clock := &fakeClock{t: time.Unix(0, 0), step: printEvery}
+	tr := New(&buf, "fig9", 100)
+	tr.now, tr.start, tr.lastPrint = clock.now, clock.t, clock.t
+	tr.Step(false)
+	if !strings.Contains(buf.String(), "fig9: 1/100 sims") {
+		t.Errorf("line = %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ETA") {
+		t.Errorf("line missing ETA: %q", buf.String())
+	}
+}
+
+func TestTrackerConcurrentSteps(t *testing.T) {
+	var buf syncWriter
+	tr := New(&buf, "par", 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.Step(i%2 == 0)
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish()
+	s := tr.Snapshot()
+	if s.Done != 64 || s.Hits != 32 || s.Executed != 32 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+// syncWriter is a goroutine-safe strings.Builder.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
