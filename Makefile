@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-seeds golden-update check
+.PHONY: build test race vet fuzz-seeds golden-update staticcheck e2e serve check
 
 build:
 	$(GO) build ./...
@@ -27,5 +27,25 @@ fuzz-seeds:
 golden-update:
 	$(GO) test ./internal/experiments -run TestGolden -update
 
+# staticcheck runs when the binary is available (CI installs it; locally
+# `go install honnef.co/go/tools/cmd/staticcheck@latest`) and is skipped
+# otherwise so check works in hermetic environments.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# e2e drives the daemon end to end: an httptest psimd serving real
+# simulations to concurrent experiment clients, with byte-parity and
+# cross-client dedup assertions.
+e2e:
+	$(GO) test -race -run 'TestE2E' -v ./internal/service/
+
+# serve runs the simulation daemon on localhost:8080.
+serve:
+	$(GO) run ./cmd/psimd
+
 # check is the full CI gate.
-check: vet build test race fuzz-seeds
+check: vet staticcheck build test race fuzz-seeds

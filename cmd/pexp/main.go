@@ -13,21 +13,34 @@
 // re-running a figure — or resuming an interrupted `-fig all` — only
 // simulates what is missing. Disable with -no-cache, relocate with
 // -cache-dir, invalidate by deleting the directory.
+//
+// With -server URL the batches are dispatched to a psimd daemon instead of
+// simulating locally: the daemon owns the cache and de-duplicates identical
+// requests across all its clients, so concurrent pexp runs of the same
+// figure cost one set of simulations.
+//
+// Ctrl-C (or SIGTERM) cancels cleanly: workers stop at the next simulation
+// boundary and no partial cache entries are left behind.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/service"
 	"repro/internal/simcache"
 )
 
@@ -38,6 +51,20 @@ func defaultCacheDir() string {
 		return filepath.Join(dir, "psat-repro", "simcache")
 	}
 	return ".simcache"
+}
+
+// writeHeapProfile snapshots live-heap allocations into path (-memprofile).
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
 }
 
 func main() { os.Exit(run()) }
@@ -59,7 +86,9 @@ func run() int {
 		cacheDir   = flag.String("cache-dir", defaultCacheDir(), "simulation result cache directory")
 		quiet      = flag.Bool("quiet", false, "suppress live progress reporting")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		server     = flag.String("server", "", "dispatch simulations to a psimd daemon at this base URL (e.g. http://localhost:8080)")
 	)
 	flag.Parse()
 
@@ -85,6 +114,9 @@ func run() int {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
+	}
 	if *pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
@@ -93,6 +125,11 @@ func run() int {
 		}()
 	}
 
+	// Ctrl-C propagates as a context: workers stop at the next simulation
+	// boundary, and errored runs are never written to the cache.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	o := experiments.DefaultOptions()
 	o.Warmup = *warmup
 	o.Instructions = *instr
@@ -100,10 +137,15 @@ func run() int {
 	o.Parallelism = *par
 	o.Mixes = *mixes
 	o.Base = *base
+	o.Context = ctx
 	if !*quiet {
 		o.Progress = os.Stderr
 	}
-	if !*noCache {
+	switch {
+	case *server != "":
+		// The daemon owns caching and cross-client dedup; no local store.
+		o.Remote = service.NewClient(*server)
+	case !*noCache:
 		store, err := simcache.New(*cacheDir)
 		if err != nil {
 			// A cache that cannot be opened degrades to uncached runs.
@@ -133,6 +175,10 @@ func run() int {
 		start := time.Now()
 		r, err := experiments.Run(name, o)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "\ninterrupted; partial results are cached and a rerun resumes from them")
+				return 130
+			}
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
-	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -26,9 +29,13 @@ import (
 
 // replayWorkload wraps a recorded PSAT trace file as a workload. The OS-side
 // page-size policy is applied at simulation time, so the same trace can be
-// replayed under any THP fraction.
+// replayed under any THP fraction. The workload's ContentID is a digest of
+// the file's bytes, so result-cache entries follow the trace's contents —
+// re-recording a file under the same path is a different workload, never a
+// stale hit.
 func replayWorkload(path string, thpFrac float64) (trace.Workload, error) {
-	if _, err := os.Stat(path); err != nil {
+	digest, err := trace.FileDigest(path)
+	if err != nil {
 		return trace.Workload{}, err
 	}
 	return trace.Workload{
@@ -36,6 +43,7 @@ func replayWorkload(path string, thpFrac float64) (trace.Workload, error) {
 		Suite:     "TRACE",
 		Intensive: true,
 		THP:       vm.FractionTHP{Frac: thpFrac, Seed: 1},
+		ContentID: digest,
 		New: func(uint64) trace.Reader {
 			f, err := os.Open(path)
 			if err != nil {
@@ -47,36 +55,26 @@ func replayWorkload(path string, thpFrac float64) (trace.Workload, error) {
 	}, nil
 }
 
-func variantByName(s string) (core.Variant, error) {
-	switch strings.ToLower(s) {
-	case "", "original":
-		return core.Original, nil
-	case "psa":
-		return core.PSA, nil
-	case "psa-2mb", "psa2mb":
-		return core.PSA2MB, nil
-	case "psa-sd", "psasd":
-		return core.PSASD, nil
-	case "psa-magic", "magic":
-		return core.PSAMagic, nil
-	case "psa-magic-2mb", "magic-2mb":
-		return core.PSAMagic2MB, nil
-	case "sd-standard":
-		return core.SDStandard, nil
-	case "sd-page-size":
-		return core.SDPageSize, nil
-	case "iso", "iso-storage":
-		return core.ISOStorage, nil
-	}
-	return 0, fmt.Errorf("unknown variant %q", s)
-}
-
 // defaultCacheDir matches pexp's default, so the two commands share entries.
 func defaultCacheDir() string {
 	if dir, err := os.UserCacheDir(); err == nil {
 		return filepath.Join(dir, "psat-repro", "simcache")
 	}
 	return ".simcache"
+}
+
+// writeHeapProfile snapshots live-heap allocations into path (-memprofile).
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
 }
 
 func main() { os.Exit(run()) }
@@ -97,6 +95,7 @@ func run() int {
 		noCache     = flag.Bool("no-cache", false, "disable the simulation result cache")
 		cacheDir    = flag.String("cache-dir", defaultCacheDir(), "simulation result cache directory")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -133,6 +132,14 @@ func run() int {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
+	}
+
+	// Ctrl-C cancels at the next simulation-chunk boundary; an interrupted
+	// run writes nothing to the cache.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var w trace.Workload
 	var err error
@@ -145,7 +152,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	v, err := variantByName(*variant)
+	v, err := core.ParseVariant(*variant)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -153,26 +160,31 @@ func run() int {
 	spec := sim.PrefSpec{Base: *pref, Variant: v, L1: sim.L1Pref(*l1)}
 	opt := sim.RunOpt{Warmup: *warmup, Instructions: *instr, Seed: *seed, Samples: 8}
 
-	runSim := func() (sim.Result, error) { return sim.Run(cfg, spec, w, opt) }
+	runSim := func(ctx context.Context) (sim.Result, error) { return sim.RunContext(ctx, cfg, spec, w, opt) }
 	var res sim.Result
-	// Trace replays are keyed by file path only — contents could change under
-	// the same name — so they bypass the cache.
-	if !*noCache && *traceFile == "" {
+	// Trace replays cache like any workload: their key carries a digest of
+	// the file's contents (Workload.ContentID), so edits or re-recordings
+	// under the same path can never return a stale entry.
+	if !*noCache {
 		store, serr := simcache.New(*cacheDir)
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "warning: result cache disabled:", serr)
-			res, err = runSim()
+			res, err = runSim(ctx)
 		} else {
 			var hit bool
-			res, hit, err = store.Do(simcache.Key(cfg, spec, w, opt), runSim)
+			res, hit, err = store.DoContext(ctx, simcache.Key(cfg, spec, w, opt), runSim)
 			if hit {
 				fmt.Fprintln(os.Stderr, "(result served from cache; -no-cache to re-simulate)")
 			}
 		}
 	} else {
-		res, err = runSim()
+		res, err = runSim(ctx)
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			return 130
+		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

@@ -1,0 +1,120 @@
+// Command psimd is the simulation service daemon: it accepts batches of
+// simulations over HTTP/JSON, runs them on a bounded worker pool backed by
+// the shared content-addressed result cache, and streams per-job progress
+// and results over SSE. Two clients asking for the same simulation cost one
+// run (cross-request single-flight plus the disk cache).
+//
+// Usage:
+//
+//	psimd                                  # listen on localhost:8080
+//	psimd -addr :9090 -par 16 -queue 128   # bigger box
+//	pexp -fig 8 -server http://localhost:8080
+//
+// Endpoints: POST /v1/sims, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events
+// (SSE), DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text).
+//
+// SIGINT/SIGTERM drains gracefully: admission stops, accepted jobs finish
+// (bounded by -drain), then the HTTP server shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/simcache"
+)
+
+// defaultCacheDir matches pexp/psim, so the daemon shares their entries.
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "psat-repro", "simcache")
+	}
+	return ".simcache"
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+		cacheDir = flag.String("cache-dir", defaultCacheDir(), "simulation result cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the result cache (every sim executes)")
+		workers  = flag.Int("workers", 4, "jobs making progress concurrently")
+		par      = flag.Int("par", runtime.NumCPU(), "concurrent simulations across all jobs")
+		queue    = flag.Int("queue", 64, "admission queue depth (full queue returns 429)")
+		maxBatch = flag.Int("max-batch", 4096, "maximum simulations per request")
+		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0: none)")
+		drain    = flag.Duration("drain", 60*time.Second, "graceful-drain bound on SIGTERM before in-flight jobs are canceled")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		SimParallelism: *par,
+		QueueDepth:     *queue,
+		MaxBatch:       *maxBatch,
+		DefaultTimeout: *timeout,
+	}
+	if !*noCache {
+		store, err := simcache.New(*cacheDir)
+		if err != nil {
+			log.Printf("warning: result cache disabled: %v", err)
+		} else {
+			cfg.Store = store
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := service.New(cfg)
+	srv.Start()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		err := httpSrv.ListenAndServe()
+		if !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	cacheNote := "disabled"
+	if cfg.Store != nil {
+		cacheNote = cfg.Store.Dir()
+	}
+	log.Printf("psimd listening on %s (workers=%d par=%d queue=%d cache=%s)",
+		*addr, *workers, *par, *queue, cacheNote)
+
+	select {
+	case err := <-errc:
+		log.Printf("psimd: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+	log.Printf("draining (up to %s)...", *drain)
+	if err := srv.Drain(*drain); err != nil {
+		log.Printf("psimd: %v", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("psimd: shutdown: %v", err)
+	}
+	if st := srv.Stats(); st.Hits+st.Shared+st.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d shared, %d simulated (%.0f%% hit rate)\n",
+			st.Hits, st.Shared, st.Misses, st.HitRate()*100)
+	}
+	log.Printf("psimd stopped")
+	return 0
+}

@@ -85,6 +85,14 @@ func main() {
 			float64(writes)/float64(count)*100)
 		fmt.Printf("instructions:  %d\n", instrs)
 		fmt.Printf("vaddr range:   %#x .. %#x\n", minV, maxV)
+		// The digest is the replay's cache identity: psim -trace folds it
+		// into simulation result-cache keys as the workload's ContentID.
+		digest, err := trace.FileDigest(*info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("digest:        %s\n", digest)
 
 	default:
 		flag.Usage()

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
@@ -82,6 +83,33 @@ func (v Variant) String() string {
 		return "ISO-Storage"
 	}
 	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// ParseVariant resolves a variant name: the String form of any variant, or
+// the CLI aliases psim has always accepted ("psa-sd", "magic", "iso", ...).
+// The empty string parses as Original.
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(s) {
+	case "", "original":
+		return Original, nil
+	case "psa":
+		return PSA, nil
+	case "psa-2mb", "psa2mb":
+		return PSA2MB, nil
+	case "psa-sd", "psasd":
+		return PSASD, nil
+	case "psa-magic", "magic":
+		return PSAMagic, nil
+	case "psa-magic-2mb", "magic-2mb":
+		return PSAMagic2MB, nil
+	case "sd-standard":
+		return SDStandard, nil
+	case "sd-page-size":
+		return SDPageSize, nil
+	case "iso", "iso-storage":
+		return ISOStorage, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
 }
 
 // Prefetcher IDs used in the set-dueling annotation bit. The voteFlag marks

@@ -111,7 +111,7 @@ func TestRunBatchJoinsAllErrors(t *testing.T) {
 	o.Warmup = 5_000
 	o.Instructions = 10_000
 	w := o.Workloads[0]
-	jobs := []job{
+	jobs := []Job{
 		{Workload: w, Spec: sim.PrefSpec{Base: "spp"}},
 		{Workload: w, Spec: sim.PrefSpec{Base: "bogus-alpha"}},
 		{Workload: w, Spec: sim.PrefSpec{Base: "spp"}},

@@ -10,14 +10,14 @@ import (
 )
 
 // detJobs builds a small cross-prefetcher batch over a reduced workload set.
-func detJobs(t *testing.T, o Options) []job {
+func detJobs(t *testing.T, o Options) []Job {
 	t.Helper()
-	var jobs []job
+	var jobs []Job
 	for _, w := range o.Workloads {
 		jobs = append(jobs,
-			job{Workload: w, Spec: sim.PrefSpec{Base: "none"}},
-			job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA}},
-			job{Workload: w, Spec: sim.PrefSpec{Base: "bop", Variant: core.PSASD}},
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "none"}},
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA}},
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "bop", Variant: core.PSASD}},
 		)
 	}
 	return jobs

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -46,6 +47,23 @@ type Options struct {
 	Progress io.Writer
 	// Label prefixes progress lines; Run sets it to the experiment name.
 	Label string
+	// Context cancels in-flight batches: workers stop at the next
+	// simulation-chunk boundary and the batch returns the context's error.
+	// Nil means context.Background() (uncancellable, the historical
+	// behaviour).
+	Context context.Context
+	// Remote dispatches single-core batches to a simulation service (psimd)
+	// instead of simulating locally; the service owns caching and dedup.
+	// Multi-core mix runs (figs 14-15) always simulate locally. Nil runs
+	// everything locally.
+	Remote BatchRunner
+}
+
+// BatchRunner executes a batch of single-core simulations somewhere else —
+// implemented by service.Client over psimd's HTTP API. The runner reports
+// per-job completions (and whether each was served from a cache) to tr.
+type BatchRunner interface {
+	RunBatch(ctx context.Context, cfg sim.Config, jobs []Job, opt sim.RunOpt, tr *progress.Tracker) ([]sim.Result, error)
 }
 
 // DefaultOptions returns a laptop-scale configuration: long enough for the
@@ -77,34 +95,55 @@ func (o Options) runOpt() sim.RunOpt {
 	}
 }
 
-// job is one simulation in a parallel batch.
-type job struct {
+// ctx returns the batch context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// Job is one simulation in a batch: a workload paired with a prefetcher
+// configuration. Exported so remote batch runners (the psimd client) can
+// receive the exact work a figure wants.
+type Job struct {
 	Workload trace.Workload
 	Spec     sim.PrefSpec
 }
 
 // runBatch executes all jobs with bounded parallelism, returning results in
 // job order. When a result cache is configured, each job first consults it
-// and only cache misses simulate. Every failed job's error is surfaced,
-// joined, rather than just the first.
-func runBatch(o Options, jobs []job) ([]sim.Result, error) {
+// and only cache misses simulate. A Remote runner, when set, executes the
+// whole batch on a simulation service instead. Every failed job's error is
+// surfaced, joined, rather than just the first; a canceled context stops
+// workers at the next simulation boundary.
+func runBatch(o Options, jobs []Job) ([]sim.Result, error) {
+	ctx := o.ctx()
+	tr := progress.New(o.Progress, o.Label, len(jobs))
+	if o.Remote != nil {
+		results, err := o.Remote.RunBatch(ctx, o.Config, jobs, o.runOpt(), tr)
+		tr.Finish()
+		return results, err
+	}
 	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	par := o.Parallelism
 	if par <= 0 {
 		par = 1
 	}
-	tr := progress.New(o.Progress, o.Label, len(jobs))
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, j := range jobs {
 		wg.Add(1)
-		go func(i int, j job) {
+		go func(i int, j Job) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if errs[i] = ctx.Err(); errs[i] != nil {
+				return // canceled while queued: don't start the simulation
+			}
 			var hit bool
-			results[i], hit, errs[i] = runOne(o, j)
+			results[i], hit, errs[i] = runOne(ctx, o, j)
 			tr.Step(hit)
 		}(i, j)
 	}
@@ -119,15 +158,15 @@ func runBatch(o Options, jobs []job) ([]sim.Result, error) {
 // runOne executes (or recalls) a single simulation, reporting whether it was
 // served from the cache. In-process duplicates of one key — common when
 // figure batches share baselines — are de-duplicated by the store's
-// single-flight Do.
-func runOne(o Options, j job) (sim.Result, bool, error) {
+// single-flight DoContext.
+func runOne(ctx context.Context, o Options, j Job) (sim.Result, bool, error) {
 	if o.Cache == nil {
-		r, err := sim.Run(o.Config, j.Spec, j.Workload, o.runOpt())
+		r, err := sim.RunContext(ctx, o.Config, j.Spec, j.Workload, o.runOpt())
 		return r, false, err
 	}
 	key := simcache.Key(o.Config, j.Spec, j.Workload, o.runOpt())
-	return o.Cache.Do(key, func() (sim.Result, error) {
-		return sim.Run(o.Config, j.Spec, j.Workload, o.runOpt())
+	return o.Cache.DoContext(ctx, key, func(ctx context.Context) (sim.Result, error) {
+		return sim.RunContext(ctx, o.Config, j.Spec, j.Workload, o.runOpt())
 	})
 }
 

@@ -40,10 +40,10 @@ func Ablation(o Options) (*AblationResult, error) {
 		po := o
 		po.Config = o.Config
 		cc.mod(&po.Config)
-		var jobs []job
+		var jobs []Job
 		for _, w := range po.workloads() {
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.Original}})
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.Original}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA}})
 		}
 		rs, err := runBatch(po, jobs)
 		if err != nil {
@@ -107,12 +107,12 @@ func Extensions(o Options) (*ExtensionsResult, error) {
 	variantFor := map[string]core.Variant{
 		"sms": core.PSA, "ampm": core.PSA2MB, "temporal": core.PSA,
 	}
-	var jobs []job
+	var jobs []Job
 	for _, w := range o.workloads() {
-		jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "none"}})
+		jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "none"}})
 		for _, base := range extended {
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: core.Original}})
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: variantFor[base]}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: core.Original}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: variantFor[base]}})
 		}
 	}
 	rs, err := runBatch(o, jobs)

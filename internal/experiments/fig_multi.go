@@ -94,10 +94,10 @@ func multicore(o Options, cores int) (*MultiResult, error) {
 
 	iso := map[string]float64{} // "spec/workload" → isolation IPC
 	var isoMu sync.Mutex
-	var isoJobs []job
+	var isoJobs []Job
 	for _, s := range append(append([]schemeDef{}, baselines...), schemes...) {
 		for _, w := range distinct {
-			isoJobs = append(isoJobs, job{Workload: w, Spec: s.spec})
+			isoJobs = append(isoJobs, Job{Workload: w, Spec: s.spec})
 		}
 	}
 	po := o
@@ -112,9 +112,11 @@ func multicore(o Options, cores int) (*MultiResult, error) {
 		isoMu.Unlock()
 	}
 
-	// Weighted speedup of one (mix, spec).
+	// Weighted speedup of one (mix, spec). Mix runs always simulate locally
+	// (a Remote runner only covers single-core batches), but they honour the
+	// batch context at epoch boundaries.
 	ws := func(mix []trace.Workload, spec sim.PrefSpec) (float64, error) {
-		res, err := sim.RunMulti(cfg, spec, mix, opt)
+		res, err := sim.RunMultiContext(o.ctx(), cfg, spec, mix, opt)
 		if err != nil {
 			return 0, err
 		}

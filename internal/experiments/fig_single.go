@@ -29,9 +29,9 @@ func Figure2(o Options) (*Fig2Result, error) {
 		PerWorkload:   map[string]map[string]float64{},
 	}
 	for _, base := range sim.BaseNames() {
-		var jobs []job
+		var jobs []Job
 		for _, w := range o.workloads() {
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: core.Original}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: core.Original}})
 		}
 		rs, err := runBatch(o, jobs)
 		if err != nil {
@@ -81,9 +81,9 @@ func Figure3(o Options) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var jobs []job
+	var jobs []Job
 	for _, w := range ws {
-		jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "none"}})
+		jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "none"}})
 	}
 	rs, err := runBatch(o, jobs)
 	if err != nil {
@@ -130,11 +130,11 @@ func magicStudy(o Options, figure int, variants map[string]core.Variant, order [
 	if err != nil {
 		return nil, err
 	}
-	var jobs []job
+	var jobs []Job
 	for _, w := range ws {
-		jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "none"}})
+		jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "none"}})
 		for _, v := range variants {
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: v}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: v}})
 		}
 	}
 	rs, err := runBatch(o, jobs)
@@ -232,10 +232,10 @@ func Figure8(o Options) (*Fig8Result, error) { return variantStudy(o, "spp") }
 // prefetcher.
 func variantStudy(o Options, base string) (*Fig8Result, error) {
 	variants := []core.Variant{core.Original, core.PSA, core.PSA2MB, core.PSASD}
-	var jobs []job
+	var jobs []Job
 	for _, w := range o.workloads() {
 		for _, v := range variants {
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: v}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: v}})
 		}
 	}
 	rs, err := runBatch(o, jobs)
@@ -305,10 +305,10 @@ func Figure9(o Options) (*Fig9Result, error) {
 	res := &Fig9Result{Geomean: map[string]map[string]map[string]float64{}}
 	variants := []core.Variant{core.Original, core.PSA, core.PSA2MB, core.PSASD}
 	for _, base := range sim.BaseNames() {
-		var jobs []job
+		var jobs []Job
 		for _, w := range o.workloads() {
 			for _, v := range variants {
-				jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: v}})
+				jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: v}})
 			}
 		}
 		rs, err := runBatch(o, jobs)
@@ -394,11 +394,11 @@ func Figure10(o Options) (*Fig10Result, error) {
 		return nil, err
 	}
 	variants := map[string]core.Variant{"PSA": core.PSA, "PSA-SD": core.PSASD}
-	var jobs []job
+	var jobs []Job
 	for _, w := range ws {
-		jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.Original}})
+		jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.Original}})
 		for _, v := range variants {
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: v}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: v}})
 		}
 	}
 	rs, err := runBatch(o, jobs)
@@ -474,11 +474,11 @@ func Figure11(o Options) (*Fig11Result, error) {
 	order := []string{"SD-Standard", "SD-Page-Size", "SD-Proposed", "ISO-Storage"}
 	res := &Fig11Result{Geomean: map[string]map[string]float64{}, Schemes: order}
 	for _, base := range []string{"spp", "vldp", "ppf"} {
-		var jobs []job
+		var jobs []Job
 		for _, w := range o.workloads() {
-			jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: core.Original}})
+			jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: core.Original}})
 			for _, v := range schemes {
-				jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: v}})
+				jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: v}})
 			}
 		}
 		rs, err := runBatch(o, jobs)
@@ -580,11 +580,11 @@ func Figure12(o Options) (*Fig12Result, error) {
 			po := o
 			po.Config = pt.cfg
 			for _, base := range sim.BaseNames() {
-				var jobs []job
+				var jobs []Job
 				for _, w := range po.workloads() {
-					jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: core.Original}})
+					jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: core.Original}})
 					for _, v := range variants {
-						jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: v}})
+						jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: base, Variant: v}})
 					}
 				}
 				rs, err := runBatch(po, jobs)
@@ -668,11 +668,11 @@ func Figure13(o Options) (*Fig13Result, error) {
 		{"BOP-PSA", sim.PrefSpec{Base: "bop", Variant: core.PSA}},
 		{"BOP-PSA-SD", sim.PrefSpec{Base: "bop", Variant: core.PSASD}},
 	}
-	var jobs []job
+	var jobs []Job
 	for _, w := range o.workloads() {
-		jobs = append(jobs, job{Workload: w, Spec: sim.PrefSpec{Base: "none"}})
+		jobs = append(jobs, Job{Workload: w, Spec: sim.PrefSpec{Base: "none"}})
 		for _, s := range specs {
-			jobs = append(jobs, job{Workload: w, Spec: s.spec})
+			jobs = append(jobs, Job{Workload: w, Spec: s.spec})
 		}
 	}
 	rs, err := runBatch(o, jobs)

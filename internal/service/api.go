@@ -1,0 +1,98 @@
+package service
+
+import "repro/internal/sim"
+
+// Wire types of psimd's HTTP/JSON API. The surface is deliberately small:
+//
+//	POST   /v1/sims             submit a batch of simulations → 202 + JobView
+//	GET    /v1/jobs/{id}        job status (+ results once done)
+//	GET    /v1/jobs/{id}/events SSE stream of the job's lifecycle
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus text exposition
+type SimSpec struct {
+	// Workload names a catalogue workload (see psim -workloads). Trace-file
+	// replays cannot be submitted remotely: their identity is the file's
+	// contents, which the daemon does not have.
+	Workload string `json:"workload"`
+	// Base is the L2 prefetcher ("none", "spp", "vldp", "ppf", "bop", ...);
+	// empty means no prefetching.
+	Base string `json:"base,omitempty"`
+	// Variant is the page-size scheme by name ("original", "PSA", "PSA-SD",
+	// ... — anything core.ParseVariant accepts). Empty means original.
+	Variant string `json:"variant,omitempty"`
+	// L1 optionally selects a first-level prefetcher: "nextline", "ipcp",
+	// "ipcp++".
+	L1 string `json:"l1,omitempty"`
+}
+
+// SimRequest is the body of POST /v1/sims: one job holding a batch of
+// simulations that run on a shared machine configuration.
+type SimRequest struct {
+	// Config is the simulated machine; nil uses the server's default
+	// (Table I).
+	Config *sim.Config `json:"config,omitempty"`
+	// Opt controls run length; Opt.Instructions must be positive.
+	Opt sim.RunOpt `json:"opt"`
+	// Jobs is the batch, at least one entry.
+	Jobs []SimSpec `json:"jobs"`
+	// TimeoutMS bounds the job's wall-clock execution; 0 uses the server's
+	// default deadline (which may be none). The deadline propagates as a
+	// context into every simulation, which stops at its next sampling
+	// boundary.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle: queued → running → done | failed | canceled.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// JobView is the externally visible state of a job.
+type JobView struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// Total/Done/Hits/Executed count the job's simulations: Hits were served
+	// from the result cache (disk or a shared in-flight computation),
+	// Executed actually simulated.
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	Hits     int    `json:"hits"`
+	Executed int    `json:"executed"`
+	Error    string `json:"error,omitempty"`
+	// Results, in submission order, present once Status is "done".
+	Results []sim.Result `json:"results,omitempty"`
+}
+
+// Event is one SSE frame of a job's event stream: the SSE "event:" field
+// carries Type, "id:" carries Seq, and "data:" carries this struct as JSON.
+// Every stream replays the job's full history from Seq 1, so late or
+// reconnecting subscribers converge on the same sequence.
+type Event struct {
+	Seq      int       `json:"seq"`
+	Type     string    `json:"type"` // queued, running, progress, done, failed, canceled
+	Job      string    `json:"job"`
+	Status   JobStatus `json:"status"`
+	Done     int       `json:"done"`
+	Total    int       `json:"total"`
+	Hits     int       `json:"hits"`
+	Executed int       `json:"executed"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// Terminal reports whether this event ends the stream.
+func (e Event) Terminal() bool {
+	return e.Type == "done" || e.Type == "failed" || e.Type == "canceled"
+}

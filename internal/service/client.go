@@ -1,0 +1,275 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/progress"
+	"repro/internal/sim"
+)
+
+// Client talks to a psimd daemon. It implements experiments.BatchRunner, so
+// `pexp -server URL` routes every figure's single-core batches through the
+// service — the existing experiment harness doubles as the daemon's traffic
+// generator.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to a client without timeout (jobs are
+	// long-running; cancellation comes from the context).
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/"), HTTPClient: &http.Client{}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{}
+}
+
+// decodeError extracts the server's JSON error message.
+func decodeError(resp *http.Response) error {
+	var e apiError
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("psimd: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("psimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+// Submit posts one batch, retrying while the daemon applies backpressure:
+// a 429 is waited out for its Retry-After hint (bounded by ctx), then
+// resubmitted.
+func (c *Client) Submit(ctx context.Context, req SimRequest) (JobView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	for {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sims", bytes.NewReader(body))
+		if err != nil {
+			return JobView{}, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(hr)
+		if err != nil {
+			return JobView{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			resp.Body.Close()
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return JobView{}, ctx.Err()
+			}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return JobView{}, decodeError(resp)
+		}
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			return JobView{}, fmt.Errorf("psimd: decode submit response: %w", err)
+		}
+		return v, nil
+	}
+}
+
+// Job fetches a job's current view (including results once done).
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobView{}, decodeError(resp)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return JobView{}, fmt.Errorf("psimd: decode job: %w", err)
+	}
+	return v, nil
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// Events subscribes to a job's SSE stream, invoking fn for every event until
+// the terminal one (after which it returns nil) or until ctx/stream failure.
+// Every subscription replays the job's history from seq 1; fn must tolerate
+// replays (filter on Event.Seq) if it resubscribes.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event)) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && len(data) > 0:
+			var e Event
+			if err := json.Unmarshal(data, &e); err != nil {
+				return fmt.Errorf("psimd: bad event: %w", err)
+			}
+			data = nil
+			fn(e)
+			if e.Terminal() {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("psimd: event stream: %w", err)
+	}
+	return fmt.Errorf("psimd: event stream ended before job finished")
+}
+
+// Follow streams a job to completion — resubscribing with backoff if the
+// stream drops while the context is still live — and returns the final view
+// (with results for a done job). fn, which may be nil, observes each event
+// exactly once, in order.
+func (c *Client) Follow(ctx context.Context, id string, fn func(Event)) (JobView, error) {
+	lastSeq := 0
+	for attempt := 0; ; attempt++ {
+		err := c.Events(ctx, id, func(e Event) {
+			if e.Seq <= lastSeq {
+				return // replayed history after a reconnect
+			}
+			lastSeq = e.Seq
+			if fn != nil {
+				fn(e)
+			}
+		})
+		if err == nil {
+			return c.Job(ctx, id)
+		}
+		if ctx.Err() != nil {
+			return JobView{}, ctx.Err()
+		}
+		// The job may have finished while the stream was down.
+		if v, jerr := c.Job(ctx, id); jerr == nil && v.Status.Terminal() {
+			return v, nil
+		}
+		if attempt >= 4 {
+			return JobView{}, err
+		}
+		select {
+		case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
+		case <-ctx.Done():
+			return JobView{}, ctx.Err()
+		}
+	}
+}
+
+// RunBatch implements experiments.BatchRunner: it ships the batch to the
+// daemon, mirrors its progress events into the local tracker, and returns
+// results in job order. Only catalogue workloads can run remotely — a
+// trace-file replay's identity is its contents, which the daemon does not
+// have.
+func (c *Client) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt, tr *progress.Tracker) ([]sim.Result, error) {
+	req := SimRequest{Config: &cfg, Opt: opt, Jobs: make([]SimSpec, len(jobs))}
+	if d, ok := ctx.Deadline(); ok {
+		if ms := time.Until(d).Milliseconds(); ms > 0 {
+			req.TimeoutMS = ms
+		}
+	}
+	for i, j := range jobs {
+		if j.Workload.ContentID != "" {
+			return nil, fmt.Errorf("psimd: workload %q is content-addressed (a trace replay) and cannot run remotely", j.Workload.Name)
+		}
+		req.Jobs[i] = SimSpec{
+			Workload: j.Workload.Name,
+			Base:     j.Spec.Base,
+			Variant:  j.Spec.Variant.String(),
+			L1:       string(j.Spec.L1),
+		}
+	}
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	prevDone, prevHits := 0, 0
+	step := func(e Event) {
+		if tr == nil || e.Done <= prevDone {
+			return
+		}
+		hits := e.Hits - prevHits
+		for i := 0; i < e.Done-prevDone; i++ {
+			tr.Step(i < hits)
+		}
+		prevDone, prevHits = e.Done, e.Hits
+	}
+	final, err := c.Follow(ctx, sub.ID, step)
+	if err != nil {
+		// Leave no orphaned work behind: a client giving up cancels its job.
+		if ctx.Err() != nil {
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = c.Cancel(cctx, sub.ID)
+			cancel()
+		}
+		return nil, err
+	}
+	switch final.Status {
+	case StatusDone:
+		if len(final.Results) != len(jobs) {
+			return nil, fmt.Errorf("psimd: job %s returned %d results for %d jobs", final.ID, len(final.Results), len(jobs))
+		}
+		return final.Results, nil
+	case StatusCanceled:
+		return nil, fmt.Errorf("psimd: job %s canceled", final.ID)
+	default:
+		return nil, fmt.Errorf("psimd: job %s %s: %s", final.ID, final.Status, final.Error)
+	}
+}

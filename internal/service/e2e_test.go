@@ -1,0 +1,123 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/simcache"
+)
+
+// TestE2EServerParity is the end-to-end acceptance test: a figure produced
+// through `pexp -server` (the experiments harness with a service.Client as
+// its BatchRunner) must be byte-identical to the locally simulated figure,
+// concurrent clients asking for the same figure must cost zero additional
+// simulations, and /metrics must account for the sharing.
+func TestE2EServerParity(t *testing.T) {
+	store, err := simcache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Store: store, Workers: 4, SimParallelism: 8})
+	srv.Start()
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	ws, err := experiments.WorkloadsByName([]string{"milc", "soplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := experiments.DefaultOptions()
+	o.Warmup = 20_000
+	o.Instructions = 80_000
+	o.Parallelism = 4
+	o.Workloads = ws
+
+	// Ground truth: simulate locally, no cache, no daemon.
+	local, err := experiments.Figure2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := o
+	remote.Remote = NewClient(hs.URL)
+	first, err := experiments.Figure2(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Render() != local.Render() {
+		t.Fatalf("remote figure differs from local:\n--- local ---\n%s--- remote ---\n%s",
+			local.Render(), first.Render())
+	}
+	simulated := store.Stats().Misses
+	if simulated == 0 {
+		t.Fatal("first remote run executed no simulations")
+	}
+
+	// Two more clients, concurrently: everything must come from the shared
+	// cache — zero additional simulations.
+	var wg sync.WaitGroup
+	renders := make([]string, 2)
+	errs := make([]error, 2)
+	for i := range renders {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := experiments.Figure2(remote)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			renders[i] = r.Render()
+		}(i)
+	}
+	wg.Wait()
+	for i := range renders {
+		if errs[i] != nil {
+			t.Fatalf("concurrent client %d: %v", i, errs[i])
+		}
+		if renders[i] != local.Render() {
+			t.Errorf("concurrent client %d produced a different figure", i)
+		}
+	}
+	st := store.Stats()
+	if st.Misses != simulated {
+		t.Errorf("concurrent clients executed %d additional simulations, want 0", st.Misses-simulated)
+	}
+	if st.Hits+st.Shared < 2*simulated {
+		t.Errorf("cache stats = %+v, want at least %d hits+shared", st, 2*simulated)
+	}
+
+	// The daemon's metrics account for the work and the sharing.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	// The hits/shared split depends on timing (a concurrent request joins the
+	// in-flight computation or reads the finished entry), so assert on their
+	// sum via Stats above and on the deterministic counters here.
+	for _, want := range []string{
+		fmt.Sprintf("psimd_sims_executed_total %d", simulated),
+		fmt.Sprintf("psimd_cache_misses_total %d", simulated),
+		"psimd_cache_hits_total",
+		"psimd_cache_shared_total",
+		"psimd_cache_hit_ratio",
+		"psimd_job_latency_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is how many recent job latencies back the p50/p99 estimates.
+const latWindow = 1024
+
+// metrics holds the daemon's counters. Gauges derived from live structures
+// (queue depth, in-flight sims) are read at scrape time.
+type metrics struct {
+	start time.Time
+
+	httpRequests  atomic.Uint64
+	jobsSubmitted atomic.Uint64
+	jobsRejected  atomic.Uint64
+	jobsDone      atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCanceled  atomic.Uint64
+	jobsRunning   atomic.Int64
+
+	cacheHits    atomic.Uint64 // sims served without executing (disk or shared flight)
+	simsExecuted atomic.Uint64 // sims that actually ran
+
+	latMu sync.Mutex
+	lats  [latWindow]float64 // seconds, ring buffer
+	latN  uint64             // total observations
+}
+
+func newMetrics() metrics { return metrics{start: time.Now()} }
+
+// observeLatency records one finished job's wall-clock duration.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.latMu.Lock()
+	m.lats[m.latN%latWindow] = d.Seconds()
+	m.latN++
+	m.latMu.Unlock()
+}
+
+// quantiles estimates job-latency quantiles over the recent window.
+func (m *metrics) quantiles(qs ...float64) []float64 {
+	m.latMu.Lock()
+	n := int(m.latN)
+	if n > latWindow {
+		n = latWindow
+	}
+	window := make([]float64, n)
+	copy(window, m.lats[:n])
+	m.latMu.Unlock()
+	out := make([]float64, len(qs))
+	if n == 0 {
+		return out
+	}
+	sort.Float64s(window)
+	for i, q := range qs {
+		idx := int(q * float64(n-1))
+		out[i] = window[idx]
+	}
+	return out
+}
+
+// writeMetrics renders the Prometheus text exposition format.
+func (s *Server) writeMetrics(w io.Writer) {
+	m := &s.m
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	up := 1
+	if s.Draining() {
+		up = 0
+	}
+	gauge("psimd_up", "1 while accepting jobs, 0 while draining.", up)
+	gauge("psimd_queue_depth", "Jobs admitted but not yet picked up by a worker.", len(s.queue))
+	gauge("psimd_queue_capacity", "Admission queue bound.", cap(s.queue))
+	gauge("psimd_jobs_inflight", "Jobs currently executing.", m.jobsRunning.Load())
+	gauge("psimd_sims_inflight", "Simulations currently executing.", len(s.simSem))
+	gauge("psimd_sim_parallelism", "Simulation worker-pool bound.", cap(s.simSem))
+
+	counter("psimd_http_requests_total", "API requests served.", m.httpRequests.Load())
+	fmt.Fprintf(w, "# HELP psimd_jobs_total Jobs by terminal disposition.\n# TYPE psimd_jobs_total counter\n")
+	fmt.Fprintf(w, "psimd_jobs_total{status=\"submitted\"} %d\n", m.jobsSubmitted.Load())
+	fmt.Fprintf(w, "psimd_jobs_total{status=\"rejected\"} %d\n", m.jobsRejected.Load())
+	fmt.Fprintf(w, "psimd_jobs_total{status=\"done\"} %d\n", m.jobsDone.Load())
+	fmt.Fprintf(w, "psimd_jobs_total{status=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "psimd_jobs_total{status=\"canceled\"} %d\n", m.jobsCanceled.Load())
+
+	st := s.Stats()
+	counter("psimd_cache_hits_total", "Simulations served from the disk cache.", st.Hits)
+	counter("psimd_cache_shared_total", "Simulations served by joining an in-flight computation.", st.Shared)
+	counter("psimd_cache_misses_total", "Simulations computed (cache misses).", st.Misses)
+	gauge("psimd_cache_hit_ratio", "Hits plus shared over all lookups since start.", fmt.Sprintf("%.4f", st.HitRate()))
+	counter("psimd_sims_executed_total", "Simulations actually executed by this daemon.", m.simsExecuted.Load())
+
+	uptime := time.Since(m.start).Seconds()
+	gauge("psimd_uptime_seconds", "Seconds since daemon start.", fmt.Sprintf("%.1f", uptime))
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(m.simsExecuted.Load()) / uptime
+	}
+	gauge("psimd_sims_per_second", "Executed simulations per second of uptime.", fmt.Sprintf("%.3f", rate))
+
+	q := m.quantiles(0.5, 0.99)
+	fmt.Fprintf(w, "# HELP psimd_job_latency_seconds Recent job wall-clock latency quantiles.\n# TYPE psimd_job_latency_seconds gauge\n")
+	fmt.Fprintf(w, "psimd_job_latency_seconds{quantile=\"0.5\"} %.4f\n", q[0])
+	fmt.Fprintf(w, "psimd_job_latency_seconds{quantile=\"0.99\"} %.4f\n", q[1])
+}

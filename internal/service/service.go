@@ -1,0 +1,532 @@
+// Package service implements psimd, a long-running simulation daemon: an
+// HTTP/JSON API that accepts batches of simulations, runs them on a bounded
+// worker pool backed by the shared content-addressed result cache
+// (internal/simcache), and streams per-job progress and results over SSE.
+//
+// The production behaviors are part of the design rather than bolted on:
+//
+//   - Admission control: a bounded queue of pending jobs; a full queue
+//     rejects with 429 + Retry-After instead of accepting unbounded work.
+//   - Cross-request dedup: every simulation goes through the store's
+//     single-flight DoContext, so two clients asking for the same
+//     (config, spec, workload, runopt) key cost one simulation.
+//   - Deadlines: a per-job timeout propagates as a context.Context through
+//     the batch into the simulator loop, which stops at its next sampling
+//     boundary; errors (including cancellations) are never cached.
+//   - Graceful drain: Drain stops admission, lets accepted jobs finish, and
+//     only force-cancels what is still running when its timeout expires.
+//   - Observability: /healthz and /metrics (Prometheus text) expose queue
+//     depth, in-flight sims, cache hit ratio, throughput, and job latency
+//     quantiles.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+	"repro/internal/trace"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Store memoizes results and provides cross-request single-flight
+	// dedup. Nil runs every simulation (no caching, no dedup).
+	Store *simcache.Store
+	// Workers is the number of jobs making progress concurrently
+	// (default 4).
+	Workers int
+	// SimParallelism bounds concurrent simulations across all jobs
+	// (default GOMAXPROCS).
+	SimParallelism int
+	// QueueDepth bounds jobs accepted but not yet picked up by a worker
+	// (default 64). A full queue rejects submissions with ErrQueueFull.
+	QueueDepth int
+	// MaxBatch bounds simulations per request (default 4096).
+	MaxBatch int
+	// DefaultTimeout applies to jobs that do not set one; 0 means no
+	// deadline.
+	DefaultTimeout time.Duration
+	// RetryAfter is the backoff hint returned with 429 (default 1s).
+	RetryAfter time.Duration
+	// KeepFinished is how many terminal jobs remain queryable before the
+	// oldest are evicted (default 256).
+	KeepFinished int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.SimParallelism <= 0 {
+		c.SimParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.KeepFinished <= 0 {
+		c.KeepFinished = 256
+	}
+	return c
+}
+
+// Submission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull rejects a submission when the admission queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining rejects a submission during shutdown (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// unit is one resolved simulation of a job.
+type unit struct {
+	w    trace.Workload
+	spec sim.PrefSpec
+}
+
+// jobState is a job's full server-side state. The events slice is
+// append-only; changed is closed and replaced on every append, which lets
+// any number of SSE subscribers replay history and then follow live without
+// per-subscriber registration.
+type jobState struct {
+	id      string
+	cfg     sim.Config
+	opt     sim.RunOpt
+	units   []unit
+	timeout time.Duration
+
+	mu       sync.Mutex
+	status   JobStatus
+	wantStop bool               // cancel requested (DELETE)
+	cancel   context.CancelFunc // non-nil while running
+	done     int
+	hits     int
+	executed int
+	results  []sim.Result
+	errMsg   string
+	events   []Event
+	changed  chan struct{}
+}
+
+// view renders the externally visible state.
+func (j *jobState) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.id, Status: j.status, Total: len(j.units),
+		Done: j.done, Hits: j.hits, Executed: j.executed, Error: j.errMsg,
+	}
+	if j.status == StatusDone {
+		v.Results = j.results
+	}
+	return v
+}
+
+// emitLocked appends a lifecycle event and wakes subscribers. Callers hold
+// j.mu.
+func (j *jobState) emitLocked(typ string) {
+	j.events = append(j.events, Event{
+		Seq: len(j.events) + 1, Type: typ, Job: j.id, Status: j.status,
+		Done: j.done, Total: len(j.units), Hits: j.hits, Executed: j.executed,
+		Error: j.errMsg,
+	})
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// step records one finished simulation and emits a progress event.
+func (j *jobState) step(hit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done++
+	if hit {
+		j.hits++
+	} else {
+		j.executed++
+	}
+	j.emitLocked("progress")
+}
+
+// Server runs jobs and serves the API. Create with New, start the worker
+// pool with Start, expose Handler over HTTP, and stop with Drain (graceful)
+// or Close (immediate).
+type Server struct {
+	cfg    Config
+	queue  chan *jobState
+	simSem chan struct{}
+
+	baseCtx context.Context // parent of every job; canceled by Close
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool // queue channel closed (Drain or Close)
+	jobs     map[string]*jobState
+	order    []string // submission order, for finished-job eviction
+	nextID   uint64
+
+	wg sync.WaitGroup
+	m  metrics
+
+	// simFn runs one simulation; tests substitute controllable stand-ins.
+	simFn func(ctx context.Context, cfg sim.Config, spec sim.PrefSpec, w trace.Workload, opt sim.RunOpt) (sim.Result, error)
+}
+
+// New builds a server; call Start to launch its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		queue:   make(chan *jobState, cfg.QueueDepth),
+		simSem:  make(chan struct{}, cfg.SimParallelism),
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    map[string]*jobState{},
+		m:       newMetrics(),
+		simFn:   sim.RunContext,
+	}
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Stats returns the store's cache counters (zero Stats when uncached).
+func (s *Server) Stats() simcache.Stats {
+	if s.cfg.Store == nil {
+		return simcache.Stats{}
+	}
+	return s.cfg.Store.Stats()
+}
+
+// worker executes queued jobs until the queue is closed (drain) or the base
+// context is canceled (hard stop).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// Submit validates and enqueues a request, returning the queued job.
+func (s *Server) submit(req SimRequest) (*jobState, error) {
+	if len(req.Jobs) == 0 {
+		return nil, fmt.Errorf("service: empty batch")
+	}
+	if len(req.Jobs) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("service: batch of %d exceeds limit %d", len(req.Jobs), s.cfg.MaxBatch)
+	}
+	if req.Opt.Instructions == 0 {
+		return nil, fmt.Errorf("service: opt.Instructions must be positive")
+	}
+	units := make([]unit, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		u, err := resolve(spec)
+		if err != nil {
+			return nil, fmt.Errorf("service: job %d: %w", i, err)
+		}
+		units[i] = u
+	}
+	cfg := sim.DefaultConfig()
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	j := &jobState{
+		cfg: cfg, opt: req.Opt, units: units, timeout: timeout,
+		status: StatusQueued, changed: make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.m.jobsRejected.Add(1)
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("j%d", s.nextID)
+	// The queued event must precede the enqueue: a worker may pick the job
+	// up (and emit "running") the instant it lands in the channel.
+	j.mu.Lock()
+	j.emitLocked("queued")
+	j.mu.Unlock()
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.m.jobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.gcLocked()
+	s.mu.Unlock()
+	s.m.jobsSubmitted.Add(1)
+	return j, nil
+}
+
+// resolve maps a wire spec onto the catalogue and prefetcher registry.
+func resolve(spec SimSpec) (unit, error) {
+	w, err := trace.ByName(spec.Workload)
+	if err != nil {
+		return unit{}, err
+	}
+	v, err := core.ParseVariant(spec.Variant)
+	if err != nil {
+		return unit{}, err
+	}
+	switch sim.L1Pref(spec.L1) {
+	case sim.L1None, sim.L1NextLine, sim.L1IPCP, sim.L1IPCPPP:
+	default:
+		return unit{}, fmt.Errorf("unknown L1 prefetcher %q", spec.L1)
+	}
+	return unit{w: w, spec: sim.PrefSpec{Base: spec.Base, Variant: v, L1: sim.L1Pref(spec.L1)}}, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) lookup(id string) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation: queued jobs terminate immediately, running
+// jobs have their context canceled and stop at the next simulation boundary.
+// Canceling a terminal job is a no-op. Returns false for unknown IDs.
+func (s *Server) cancelJob(id string) bool {
+	j, ok := s.lookup(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return true
+	}
+	j.wantStop = true
+	if j.cancel != nil {
+		j.cancel()
+	} else if j.status == StatusQueued {
+		// Terminate now; the worker that eventually pops it skips it.
+		j.status = StatusCanceled
+		j.errMsg = "canceled"
+		j.emitLocked("canceled")
+		s.m.jobsCanceled.Add(1)
+	}
+	return true
+}
+
+// gcLocked evicts the oldest terminal jobs beyond the retention cap so the
+// job table cannot grow without bound. Callers hold s.mu.
+func (s *Server) gcLocked() {
+	finished := 0
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			j.mu.Lock()
+			t := j.status.Terminal()
+			j.mu.Unlock()
+			if t {
+				finished++
+			}
+		}
+	}
+	if finished <= s.cfg.KeepFinished {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		t := j.status.Terminal()
+		j.mu.Unlock()
+		if t && finished > s.cfg.KeepFinished {
+			delete(s.jobs, id)
+			finished--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// runJob executes one job's batch over the shared simulation semaphore.
+func (s *Server) runJob(j *jobState) {
+	parent := s.baseCtx
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
+	}
+	defer cancel()
+
+	j.mu.Lock()
+	if j.status.Terminal() { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.cancel = cancel
+	j.emitLocked("running")
+	j.mu.Unlock()
+
+	s.m.jobsRunning.Add(1)
+	start := time.Now()
+	results := make([]sim.Result, len(j.units))
+	errs := make([]error, len(j.units))
+	var wg sync.WaitGroup
+	for i, u := range j.units {
+		wg.Add(1)
+		go func(i int, u unit) {
+			defer wg.Done()
+			select {
+			case s.simSem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-s.simSem }()
+			if errs[i] = ctx.Err(); errs[i] != nil {
+				return
+			}
+			var hit bool
+			results[i], hit, errs[i] = s.simulate(ctx, j.cfg, u, j.opt)
+			if errs[i] == nil {
+				if hit {
+					s.m.cacheHits.Add(1)
+				} else {
+					s.m.simsExecuted.Add(1)
+				}
+				j.step(hit)
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	s.m.jobsRunning.Add(-1)
+	s.m.observeLatency(time.Since(start))
+
+	err := errors.Join(errs...)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.results = results
+		j.status = StatusDone
+		j.emitLocked("done")
+		s.m.jobsDone.Add(1)
+	case j.wantStop || s.baseCtx.Err() != nil:
+		j.status = StatusCanceled
+		j.errMsg = "canceled"
+		j.emitLocked("canceled")
+		s.m.jobsCanceled.Add(1)
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		j.emitLocked("failed")
+		s.m.jobsFailed.Add(1)
+	}
+}
+
+// simulate runs (or recalls) one simulation through the shared store.
+func (s *Server) simulate(ctx context.Context, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, bool, error) {
+	run := func(ctx context.Context) (sim.Result, error) {
+		return s.simFn(ctx, cfg, u.spec, u.w, opt)
+	}
+	if s.cfg.Store == nil {
+		r, err := run(ctx)
+		return r, false, err
+	}
+	return s.cfg.Store.DoContext(ctx, simcache.Key(cfg, u.spec, u.w, opt), run)
+}
+
+// Draining reports whether the server has stopped accepting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the pool down: admission stops immediately
+// (submissions fail with ErrDraining, /healthz turns 503), accepted jobs
+// keep running, and Drain returns once every worker has exited. If the jobs
+// have not finished within timeout, their contexts are canceled — they stop
+// at the next simulation boundary and report canceled — and Drain returns an
+// error naming the force-stop.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.draining = true
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-workersDone:
+		return nil
+	case <-timer:
+		s.stop() // cancel every job's context
+		<-workersDone
+		return fmt.Errorf("service: drain timed out after %s; in-flight jobs canceled", timeout)
+	}
+}
+
+// Close stops immediately: admission ends and every running job's context is
+// canceled. Prefer Drain for orderly shutdown.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.draining = true
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -49,8 +51,19 @@ type Result struct {
 // Run simulates one workload on a single-core machine with the given
 // prefetching spec.
 func Run(cfg Config, spec PrefSpec, w trace.Workload, opt RunOpt) (Result, error) {
+	return RunContext(context.Background(), cfg, spec, w, opt)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// sampling boundary (opt.Instructions/opt.Samples retired instructions), so a
+// canceled run stops within one chunk and returns ctx.Err(). Results of
+// canceled runs are partial and must not be cached.
+func RunContext(ctx context.Context, cfg Config, spec PrefSpec, w trace.Workload, opt RunOpt) (Result, error) {
 	sys, err := newSystem(cfg, spec, []trace.Workload{w}, opt.Seed)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	n := sys.nodes[0]
@@ -72,6 +85,9 @@ func Run(cfg Config, spec PrefSpec, w trace.Workload, opt RunOpt) (Result, error
 	}
 	var run uint64
 	for run < opt.Instructions {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		want := chunk
 		if rem := opt.Instructions - run; rem < want {
 			want = rem
@@ -138,6 +154,12 @@ type MultiResult struct {
 // each core's IPC is measured over its own first `Instructions` retired after
 // the shared warm-up boundary.
 func RunMulti(cfg Config, spec PrefSpec, mix []trace.Workload, opt RunOpt) (MultiResult, error) {
+	return RunMultiContext(context.Background(), cfg, spec, mix, opt)
+}
+
+// RunMultiContext is RunMulti with cancellation, checked at every shared-time
+// epoch boundary (a few thousand cycles), so canceled mixes stop promptly.
+func RunMultiContext(ctx context.Context, cfg Config, spec PrefSpec, mix []trace.Workload, opt RunOpt) (MultiResult, error) {
 	cfg.PhysBytes = maxAddr(cfg.PhysBytes, mem.Addr(len(mix))*(8<<30)/2)
 	sys, err := newSystem(cfg, spec, mix, opt.Seed)
 	if err != nil {
@@ -151,7 +173,7 @@ func RunMulti(cfg Config, spec PrefSpec, mix []trace.Workload, opt RunOpt) (Mult
 	// runEpochs advances every core (drained ones excepted) in lock-step
 	// epochs until stop() is true, checked at epoch boundaries.
 	runEpochs := func(stop func() bool, onEpoch func()) {
-		for !stop() {
+		for ctx.Err() == nil && !stop() {
 			var minCycle mem.Cycle = 1 << 62
 			active := false
 			for i, node := range sys.nodes {
@@ -222,6 +244,9 @@ func RunMulti(cfg Config, spec PrefSpec, mix []trace.Workload, opt RunOpt) (Mult
 		return true
 	}, record)
 	record()
+	if err := ctx.Err(); err != nil {
+		return MultiResult{}, err
+	}
 
 	res := MultiResult{DRAM: sys.dramDev.Stats}
 	for i, node := range sys.nodes {

@@ -1,0 +1,150 @@
+package simcache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestKeyContentID: two workloads differing only in ContentID (the same
+// trace path after re-recording) must key separately — the stale-replay
+// hazard the digest exists to close.
+func TestKeyContentID(t *testing.T) {
+	w := testWorkload(t, "milc")
+	cfg, spec, opt := sim.DefaultConfig(), sim.PrefSpec{Base: "spp"}, sim.DefaultRunOpt()
+	base := Key(cfg, spec, w, opt)
+
+	w.ContentID = "sha256:aaaa"
+	k1 := Key(cfg, spec, w, opt)
+	w.ContentID = "sha256:bbbb"
+	k2 := Key(cfg, spec, w, opt)
+
+	if base == k1 || k1 == k2 {
+		t.Errorf("ContentID did not separate keys: base=%s k1=%s k2=%s", base, k1, k2)
+	}
+}
+
+// TestDoContextCanceledWaiter: a waiter whose own context dies while joined
+// to a flight returns its context error without disturbing the owner.
+func TestDoContextCanceledWaiter(t *testing.T) {
+	s, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(sim.DefaultConfig(), sim.PrefSpec{Base: "spp"}, testWorkload(t, "milc"), sim.DefaultRunOpt())
+	gate := make(chan struct{})
+	ownerStarted := make(chan struct{})
+	owner := func(ctx context.Context) (sim.Result, error) {
+		close(ownerStarted)
+		<-gate
+		return sampleResult(), nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var ownerRes sim.Result
+	var ownerErr error
+	go func() {
+		defer wg.Done()
+		ownerRes, _, ownerErr = s.DoContext(context.Background(), key, owner)
+	}()
+	<-ownerStarted // the flight is registered; anyone else now joins it
+
+	// Second caller joins the flight, then gives up.
+	wctx, wcancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := s.DoContext(wctx, key, owner)
+		waiterErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter join
+	wcancel()
+	select {
+	case err := <-waiterErr:
+		if err != context.Canceled {
+			t.Errorf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+
+	close(gate)
+	wg.Wait()
+	if ownerErr != nil {
+		t.Fatalf("owner: %v", ownerErr)
+	}
+	if ownerRes.IPC != sampleResult().IPC {
+		t.Error("owner result corrupted by waiter cancellation")
+	}
+}
+
+// TestDoContextOwnerCanceledRetry: when the flight's owner dies of its own
+// context cancellation, a live waiter takes over as the new owner instead of
+// inheriting the cancellation — cross-request single-flight stays safe under
+// per-request deadlines.
+func TestDoContextOwnerCanceledRetry(t *testing.T) {
+	s, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(sim.DefaultConfig(), sim.PrefSpec{Base: "spp"}, testWorkload(t, "milc"), sim.DefaultRunOpt())
+
+	octx, ocancel := context.WithCancel(context.Background())
+	ownerStarted := make(chan struct{})
+	var calls atomic.Int32
+	fn := func(ctx context.Context) (sim.Result, error) {
+		if calls.Add(1) == 1 {
+			close(ownerStarted)
+			<-ctx.Done() // first owner only dies of cancellation
+			return sim.Result{}, ctx.Err()
+		}
+		return sampleResult(), nil
+	}
+
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.DoContext(octx, key, fn)
+		ownerErr <- err
+	}()
+	<-ownerStarted
+
+	// The waiter joins, the owner is canceled, and the waiter must rerun the
+	// computation itself and succeed.
+	waiterDone := make(chan struct{})
+	var waiterRes sim.Result
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterRes, _, waiterErr = s.DoContext(context.Background(), key, fn)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter join the flight
+	ocancel()
+
+	if err := <-ownerErr; err != context.Canceled {
+		t.Errorf("owner error = %v, want context.Canceled", err)
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never took over the canceled flight")
+	}
+	if waiterErr != nil {
+		t.Fatalf("waiter inherited the owner's cancellation: %v", waiterErr)
+	}
+	if waiterRes.IPC != sampleResult().IPC {
+		t.Error("waiter returned a wrong result")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("computation ran %d times, want 2 (canceled owner + retrying waiter)", n)
+	}
+	// The retried result is durable: a fresh lookup hits.
+	if _, ok := s.Get(key); !ok {
+		t.Error("retried result was not cached")
+	}
+}

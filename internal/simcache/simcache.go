@@ -17,9 +17,11 @@
 package simcache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -34,7 +36,10 @@ import (
 // derivation changes in a way that makes previously stored entries stale
 // (e.g. a workload generator or timing-model fix that alters results without
 // altering any Key input).
-const SchemaVersion = 1
+//
+// v2: keys gained the workload ContentID (trace-file digest), closing the
+// stale-replay hazard where a re-recorded trace file kept its old entry.
+const SchemaVersion = 2
 
 // keyBlob is the canonical serialized form of everything a simulation's
 // outcome depends on. Workloads are identified by catalogue name plus their
@@ -48,6 +53,10 @@ type keyBlob struct {
 	Suite     string
 	Intensive bool
 	THP       string
+	// ContentID distinguishes workloads whose name does not pin their
+	// contents — a replayed trace file is keyed by a digest of its bytes, so
+	// re-recording the file under the same path changes the key.
+	ContentID string
 	Opt       sim.RunOpt
 }
 
@@ -61,6 +70,7 @@ func Key(cfg sim.Config, spec sim.PrefSpec, w trace.Workload, opt sim.RunOpt) st
 		Suite:     w.Suite,
 		Intensive: w.Intensive,
 		THP:       fmt.Sprintf("%#v", w.THP),
+		ContentID: w.ContentID,
 		Opt:       opt,
 	})
 	if err != nil {
@@ -213,35 +223,61 @@ func errFirst(errs ...error) error {
 // without running fn in this call (from disk or from another goroutine's
 // flight). Errors are never cached.
 func (s *Store) Do(key string, fn func() (sim.Result, error)) (res sim.Result, hit bool, err error) {
-	if res, ok := s.Get(key); ok {
-		s.hits.Add(1)
-		return res, true, nil
-	}
-	s.mu.Lock()
-	if c, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		<-c.done
-		if c.err == nil {
-			s.shared.Add(1)
-		}
-		return c.res, true, c.err
-	}
-	c := &call{done: make(chan struct{})}
-	s.inflight[key] = c
-	s.mu.Unlock()
+	return s.DoContext(context.Background(), key,
+		func(context.Context) (sim.Result, error) { return fn() })
+}
 
-	c.res, c.err = fn()
-	s.misses.Add(1)
-	if c.err == nil {
-		// A failed Put (full disk, read-only dir) degrades to uncached
-		// operation; the computed result is still good.
-		_ = s.Put(key, c.res)
+// DoContext is Do with cancellation. fn receives the context of the call
+// that actually executes it (the flight's owner); waiters sharing a flight
+// stop waiting as soon as their own context is done. If the owner's context
+// is canceled while a waiter's is still live, the waiter takes over and
+// recomputes instead of inheriting a cancellation that is not its own — this
+// is what makes cross-request single-flight safe in a server, where the
+// first requester of a key may hit its deadline while others still want the
+// result. Errors (including cancellations) are never cached.
+func (s *Store) DoContext(ctx context.Context, key string, fn func(context.Context) (sim.Result, error)) (res sim.Result, hit bool, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return sim.Result{}, false, err
+		}
+		if res, ok := s.Get(key); ok {
+			s.hits.Add(1)
+			return res, true, nil
+		}
+		s.mu.Lock()
+		if c, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return sim.Result{}, false, ctx.Err()
+			}
+			if c.err == nil {
+				s.shared.Add(1)
+				return c.res, true, nil
+			}
+			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+				continue // the owner died of its own context; try again as owner
+			}
+			return c.res, true, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		s.inflight[key] = c
+		s.mu.Unlock()
+
+		c.res, c.err = fn(ctx)
+		s.misses.Add(1)
+		if c.err == nil {
+			// A failed Put (full disk, read-only dir) degrades to uncached
+			// operation; the computed result is still good.
+			_ = s.Put(key, c.res)
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(c.done)
+		return c.res, false, c.err
 	}
-	s.mu.Lock()
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	close(c.done)
-	return c.res, false, c.err
 }
 
 // Len reports how many entries the store currently holds on disk.

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFileDigest: the digest is deterministic, content-addressed (rewriting
+// the same path with different bytes changes it), and carries the scheme
+// prefix cache keys embed.
+func TestFileDigest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.psat")
+	if err := os.WriteFile(path, []byte("first contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := FileDigest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d1, "sha256:") {
+		t.Errorf("digest %q lacks sha256: prefix", d1)
+	}
+	d2, err := FileDigest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Errorf("digest not deterministic: %s vs %s", d1, d2)
+	}
+
+	// Re-recording the file under the same name is a different workload.
+	if err := os.WriteFile(path, []byte("second contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := FileDigest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Error("digest unchanged after file contents changed")
+	}
+
+	if _, err := FileDigest(filepath.Join(t.TempDir(), "missing.psat")); err == nil {
+		t.Error("digest of a missing file did not error")
+	}
+}

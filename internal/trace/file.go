@@ -2,10 +2,13 @@ package trace
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/mem"
 )
@@ -173,4 +176,21 @@ func Record(w *Writer, src Reader, n uint64) (uint64, error) {
 		}
 	}
 	return i, w.Flush()
+}
+
+// FileDigest returns the content identity of a trace file —
+// "sha256:<hex>" over its raw bytes — used as the Workload.ContentID of a
+// replay, so simulation cache entries follow the file's contents, not its
+// path.
+func FileDigest(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("trace: digest %s: %w", path, err)
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
 }

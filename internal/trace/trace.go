@@ -46,6 +46,12 @@ type Workload struct {
 	// THP is the transparent-huge-page policy the OS applies to this
 	// workload's memory, controlling its Figure 3 profile.
 	THP vm.THPPolicy
+	// ContentID pins the workload's contents when Name alone does not:
+	// catalogue generators leave it empty (the generator code is versioned
+	// by simcache.SchemaVersion), while trace-file replays carry a digest of
+	// the file's bytes (see FileDigest) so re-recording a trace under the
+	// same path is a different workload.
+	ContentID string
 	// New creates the access stream. Streams are deterministic given seed.
 	New func(seed uint64) Reader
 }
