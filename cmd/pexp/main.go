@@ -89,6 +89,9 @@ func run() int {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		server     = flag.String("server", "", "dispatch simulations to a psimd daemon at this base URL (e.g. http://localhost:8080)")
+
+		telemetryDir = flag.String("telemetry-dir", "", "write per-job telemetry series under this directory (e.g. results/telemetry); cache-hit and remote jobs emit none")
+		epochLen     = flag.Uint64("epoch", 0, "telemetry epoch length in instructions (default: the simulator's standard epoch)")
 	)
 	flag.Parse()
 
@@ -138,6 +141,8 @@ func run() int {
 	o.Mixes = *mixes
 	o.Base = *base
 	o.Context = ctx
+	o.TelemetryDir = *telemetryDir
+	o.EpochInstructions = *epochLen
 	if !*quiet {
 		o.Progress = os.Stderr
 	}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,9 +24,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/simcache"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
+
+// writeArtifact writes one telemetry export to path, reporting failures
+// without aborting the (already printed) result.
+func writeArtifact(path, what string, write func(io.Writer) error) bool {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, what+":", err)
+		return false
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, what+":", err)
+		return false
+	}
+	return true
+}
 
 // replayWorkload wraps a recorded PSAT trace file as a workload. The OS-side
 // page-size policy is applied at simulation time, so the same trace can be
@@ -96,6 +114,13 @@ func run() int {
 		cacheDir    = flag.String("cache-dir", defaultCacheDir(), "simulation result cache directory")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		telemetryOut = flag.String("telemetry-out", "", "write the per-epoch telemetry series as JSONL to this file")
+		telemetryCSV = flag.String("telemetry-csv", "", "write the per-epoch telemetry series as CSV to this file")
+		eventsOut    = flag.String("events-out", "", "write prefetch lifecycle events as JSONL to this file")
+		eventsChrome = flag.String("events-chrome", "", "write prefetch lifecycle events as a Chrome trace_event JSON file")
+		epochLen     = flag.Uint64("epoch", sim.DefaultEpochInstructions, "telemetry epoch length in retired instructions")
+		traceCap     = flag.Int("events-cap", telemetry.DefaultTraceCap, "lifecycle event ring capacity (newest events win)")
 	)
 	flag.Parse()
 
@@ -160,6 +185,26 @@ func run() int {
 	spec := sim.PrefSpec{Base: *pref, Variant: v, L1: sim.L1Pref(*l1)}
 	opt := sim.RunOpt{Warmup: *warmup, Instructions: *instr, Seed: *seed, Samples: 8}
 
+	// Telemetry needs a live simulation: a cache-hit replay has no epochs or
+	// lifecycle events to report, so any telemetry flag bypasses the result
+	// cache. Instrumentation is observational — the computed Result (and
+	// anything already cached for this key) is unaffected.
+	var ins *sim.Instrumentation
+	if *telemetryOut != "" || *telemetryCSV != "" || *eventsOut != "" || *eventsChrome != "" {
+		ins = &sim.Instrumentation{EpochInstructions: *epochLen}
+		if *telemetryOut != "" || *telemetryCSV != "" {
+			ins.Collector = telemetry.NewCollector()
+		}
+		if *eventsOut != "" || *eventsChrome != "" {
+			ins.Tracer = telemetry.NewTracer(*traceCap)
+		}
+		ctx = sim.WithInstrumentation(ctx, ins)
+		if !*noCache {
+			*noCache = true
+			fmt.Fprintln(os.Stderr, "(telemetry requested: result cache bypassed for this run)")
+		}
+	}
+
 	runSim := func(ctx context.Context) (sim.Result, error) { return sim.RunContext(ctx, cfg, spec, w, opt) }
 	var res sim.Result
 	// Trace replays cache like any workload: their key carries a digest of
@@ -209,5 +254,31 @@ func run() int {
 		res.TLBL1Hits, res.TLBL1Misses, res.TLBL2Hits, res.TLBL2Misses, res.Walks)
 	fmt.Printf("DRAM: reads %d writes %d row-hit %.2f\n",
 		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHitRate())
+
+	if ins != nil {
+		ok := true
+		if *telemetryOut != "" {
+			ok = writeArtifact(*telemetryOut, "telemetry-out", ins.Collector.WriteJSONL) && ok
+		}
+		if *telemetryCSV != "" {
+			ok = writeArtifact(*telemetryCSV, "telemetry-csv", ins.Collector.WriteCSV) && ok
+		}
+		if *eventsOut != "" {
+			ok = writeArtifact(*eventsOut, "events-out", ins.Tracer.WriteJSONL) && ok
+		}
+		if *eventsChrome != "" {
+			ok = writeArtifact(*eventsChrome, "events-chrome", ins.Tracer.WriteChromeTrace) && ok
+		}
+		if ins.Collector != nil {
+			fmt.Printf("telemetry: %d epochs of %d instructions\n", len(ins.Collector.Epochs()), *epochLen)
+		}
+		if ins.Tracer != nil {
+			fmt.Printf("telemetry: %d lifecycle events recorded (%d retained, %d overwritten)\n",
+				ins.Tracer.Total(), len(ins.Tracer.Events()), ins.Tracer.Dropped())
+		}
+		if !ok {
+			return 1
+		}
+	}
 	return 0
 }

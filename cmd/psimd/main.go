@@ -56,15 +56,17 @@ func run() int {
 		maxBatch = flag.Int("max-batch", 4096, "maximum simulations per request")
 		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0: none)")
 		drain    = flag.Duration("drain", 60*time.Second, "graceful-drain bound on SIGTERM before in-flight jobs are canceled")
+		noTel    = flag.Bool("no-telemetry", false, "disable live simulation telemetry (SSE job snapshots and psimd_live_* gauges)")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:        *workers,
-		SimParallelism: *par,
-		QueueDepth:     *queue,
-		MaxBatch:       *maxBatch,
-		DefaultTimeout: *timeout,
+		Workers:          *workers,
+		SimParallelism:   *par,
+		QueueDepth:       *queue,
+		MaxBatch:         *maxBatch,
+		DefaultTimeout:   *timeout,
+		DisableTelemetry: *noTel,
 	}
 	if !*noCache {
 		store, err := simcache.New(*cacheDir)

@@ -12,9 +12,63 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// footprint tallies how many times each page (at one page-size granularity)
+// is touched, then folds the per-page counts into a telemetry.Histogram so
+// -info can print the reuse distribution.
+type footprint struct {
+	shift uint
+	pages map[uint64]uint64
+}
+
+func newFootprint(pageBits uint) *footprint {
+	return &footprint{shift: pageBits, pages: map[uint64]uint64{}}
+}
+
+func (f *footprint) touch(vaddr uint64) { f.pages[vaddr>>f.shift]++ }
+
+// histogram buckets pages by accesses-per-page (powers of four).
+func (f *footprint) histogram() *telemetry.Histogram {
+	h := telemetry.NewHistogram(1, 4, 16, 64, 256, 1024, 4096, 16384)
+	for _, n := range f.pages {
+		h.Observe(n)
+	}
+	return h
+}
+
+// printFootprint renders one page-size row plus its reuse histogram.
+func printFootprint(label string, pageBytes uint64, f *footprint) {
+	h := f.histogram()
+	touched := uint64(len(f.pages))
+	fmt.Printf("%s pages:     %d touched (%.1f MiB footprint, %.1f accesses/page)\n",
+		label, touched, float64(touched*pageBytes)/(1<<20), h.Mean())
+	var rows []string
+	lo := uint64(1)
+	for _, b := range h.Buckets() {
+		if b.Count == 0 {
+			if !b.Overflow {
+				lo = b.UpperBound + 1
+			}
+			continue
+		}
+		switch {
+		case b.Overflow:
+			rows = append(rows, fmt.Sprintf(">%d:%d", lo-1, b.Count))
+		case b.UpperBound == lo:
+			rows = append(rows, fmt.Sprintf("%d:%d", lo, b.Count))
+			lo = b.UpperBound + 1
+		default:
+			rows = append(rows, fmt.Sprintf("%d-%d:%d", lo, b.UpperBound, b.Count))
+			lo = b.UpperBound + 1
+		}
+	}
+	fmt.Printf("  accesses/page: %s\n", strings.Join(rows, " "))
+}
 
 func main() {
 	var (
@@ -64,6 +118,7 @@ func main() {
 		var a trace.Access
 		var count, writes, instrs uint64
 		minV, maxV := ^uint64(0), uint64(0)
+		fp4k, fp2m := newFootprint(12), newFootprint(21)
 		for r.Next(&a) {
 			count++
 			instrs += uint64(a.Gap) + 1
@@ -76,6 +131,8 @@ func main() {
 			if uint64(a.VAddr) > maxV {
 				maxV = uint64(a.VAddr)
 			}
+			fp4k.touch(uint64(a.VAddr))
+			fp2m.touch(uint64(a.VAddr))
 		}
 		if err := r.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -85,6 +142,11 @@ func main() {
 			float64(writes)/float64(count)*100)
 		fmt.Printf("instructions:  %d\n", instrs)
 		fmt.Printf("vaddr range:   %#x .. %#x\n", minV, maxV)
+		// The same footprint at both granularities shows how much a 2MB
+		// mapping would cover: many 4KB pages folding into few 2MB pages is
+		// exactly the locality page-size-aware prefetching exploits.
+		printFootprint("4KB", 4<<10, fp4k)
+		printFootprint("2MB", 2<<20, fp2m)
 		// The digest is the replay's cache identity: psim -trace folds it
 		// into simulation result-cache keys as the workload's ContentID.
 		digest, err := trace.FileDigest(*info)

@@ -167,6 +167,104 @@ func (NopObserver) OnPrefetchUseful(mem.Addr, uint8, int) {}
 // OnPrefetchUnused implements Observer.
 func (NopObserver) OnPrefetchUnused(mem.Addr, uint8, int) {}
 
+// LifecycleKind classifies a prefetch lifecycle transition.
+type LifecycleKind uint8
+
+// Lifecycle transitions reported through LifecycleObserver.
+const (
+	// LifeFill is an issued prefetch allocating here: At is the issue cycle,
+	// Done the fill-completion cycle.
+	LifeFill LifecycleKind = iota + 1
+	// LifeUse is the first demand hit on a prefetched line (Late: the hit
+	// merged with the still-in-flight fill).
+	LifeUse
+	// LifeEvict is a prefetched line evicted without a demand hit.
+	LifeEvict
+	// LifeDrop is a prefetch dropped at the MSHR demand reserve.
+	LifeDrop
+)
+
+// LifecycleEvent is one prefetch lifecycle transition at a cache.
+type LifecycleEvent struct {
+	Kind  LifecycleKind
+	Block mem.Addr
+	At    mem.Cycle // issue cycle (fill/drop) or event cycle (use/evict)
+	Done  mem.Cycle // fill completion (fill events only)
+	Late  bool      // use merged with the in-flight fill
+	// Req is the request driving the transition: the prefetch itself for
+	// fill/drop, the demand access for use, the fill triggering the eviction
+	// for evict. It carries the page-size and boundary-crossing attribution.
+	Req    *mem.Request
+	PrefID uint8
+	Core   uint8
+}
+
+// LifecycleObserver is an optional extension of Observer: an observer that
+// also implements it receives prefetch lifecycle events. The cache resolves
+// the type assertion once in SetObserver, so the hot path pays only a nil
+// check when tracing is off.
+type LifecycleObserver interface {
+	OnPrefetchLifecycle(cache string, ev LifecycleEvent)
+}
+
+// tee fans observer callbacks out to several observers in order; lifecycle
+// events go to the children that implement LifecycleObserver.
+type tee struct {
+	obs  []Observer
+	life []LifecycleObserver
+}
+
+// Tee combines observers into one (nil entries are skipped). A single
+// non-nil observer is returned unwrapped, so the common untraced
+// configuration pays no indirection.
+func Tee(os ...Observer) Observer {
+	t := &tee{}
+	for _, o := range os {
+		if o == nil {
+			continue
+		}
+		t.obs = append(t.obs, o)
+		if lo, ok := o.(LifecycleObserver); ok {
+			t.life = append(t.life, lo)
+		}
+	}
+	switch {
+	case len(t.obs) == 0:
+		return nil
+	case len(t.obs) == 1:
+		return t.obs[0] // SetObserver re-resolves LifecycleObserver itself
+	}
+	return t
+}
+
+// OnAccess implements Observer.
+func (t *tee) OnAccess(info AccessInfo) {
+	for _, o := range t.obs {
+		o.OnAccess(info)
+	}
+}
+
+// OnPrefetchUseful implements Observer.
+func (t *tee) OnPrefetchUseful(block mem.Addr, prefID uint8, core int) {
+	for _, o := range t.obs {
+		o.OnPrefetchUseful(block, prefID, core)
+	}
+}
+
+// OnPrefetchUnused implements Observer.
+func (t *tee) OnPrefetchUnused(block mem.Addr, prefID uint8, core int) {
+	for _, o := range t.obs {
+		o.OnPrefetchUnused(block, prefID, core)
+	}
+}
+
+// OnPrefetchLifecycle implements LifecycleObserver.
+func (t *tee) OnPrefetchLifecycle(cache string, ev LifecycleEvent) {
+	for _, o := range t.life {
+		o.OnPrefetchLifecycle(cache, ev)
+	}
+}
+
 // Cache is one level of the hierarchy.
 type Cache struct {
 	cfg   Config
@@ -180,6 +278,9 @@ type Cache struct {
 
 	next     mem.Port
 	observer Observer
+	// life is the observer's LifecycleObserver facet, resolved once in
+	// SetObserver: the access path pays a nil check, never a type assertion.
+	life LifecycleObserver
 
 	rng uint64 // state for ReplRandom
 
@@ -204,8 +305,36 @@ func New(cfg Config, next mem.Port) *Cache {
 	}
 }
 
-// SetObserver attaches the access/feedback observer.
-func (c *Cache) SetObserver(o Observer) { c.observer = o }
+// SetObserver attaches the access/feedback observer. If the observer also
+// implements LifecycleObserver it additionally receives prefetch lifecycle
+// events; combine observers with Tee to trace alongside a prefetch engine.
+func (c *Cache) SetObserver(o Observer) {
+	c.observer = o
+	c.life, _ = o.(LifecycleObserver)
+}
+
+// SetLifecycleObserver attaches (or, with nil, detaches) the prefetch
+// lifecycle sink without touching the access/feedback observer chain. This
+// keeps pure lifecycle consumers — the telemetry tracer — off the per-access
+// OnAccess dispatch path entirely: they cost a nil check except when a
+// prefetched block changes state. It replaces any lifecycle interest the
+// regular observer declared.
+func (c *Cache) SetLifecycleObserver(lo LifecycleObserver) {
+	c.life = lo
+}
+
+// MSHRBusy returns how many MSHR entries are occupied at cycle `at` (a
+// telemetry gauge: sampled at epoch boundaries it exposes miss-level
+// parallelism pressure).
+func (c *Cache) MSHRBusy(at mem.Cycle) int {
+	busy := 0
+	for _, f := range c.mshrFree {
+		if f > at {
+			busy++
+		}
+	}
+	return busy
+}
 
 // Name returns the configured cache name.
 func (c *Cache) Name() string { return c.cfg.Name }
@@ -317,6 +446,12 @@ func (c *Cache) fill(block mem.Addr, readyAt, now mem.Cycle, req *mem.Request) {
 			if c.observer != nil {
 				c.observer.OnPrefetchUnused(v.block, v.prefID, int(v.core))
 			}
+			if c.life != nil {
+				c.life.OnPrefetchLifecycle(c.cfg.Name, LifecycleEvent{
+					Kind: LifeEvict, Block: v.block, At: now, Req: req,
+					PrefID: v.prefID, Core: v.core,
+				})
+			}
 		}
 		if v.dirty {
 			c.Stats.Writebacks++
@@ -419,6 +554,12 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 				if c.observer != nil {
 					c.observer.OnPrefetchUseful(block, l.prefID, int(l.core))
 				}
+				if c.life != nil {
+					c.life.OnPrefetchLifecycle(c.cfg.Name, LifecycleEvent{
+						Kind: LifeUse, Block: block, At: done, Late: merged,
+						Req: req, PrefID: l.prefID, Core: l.core,
+					})
+				}
 			}
 		}
 		if c.observer != nil {
@@ -441,6 +582,12 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 		}
 		if free <= c.cfg.MSHREntries/4 {
 			c.Stats.PrefetchDropped++
+			if c.life != nil {
+				c.life.OnPrefetchLifecycle(c.cfg.Name, LifecycleEvent{
+					Kind: LifeDrop, Block: block, At: at, Req: req,
+					PrefID: req.PrefID, Core: uint8(req.Core),
+				})
+			}
 			return lookupDone
 		}
 	}
@@ -463,6 +610,15 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 	if demand {
 		c.Stats.DemandLatencySum += uint64(done - at)
 		c.Stats.DemandCount++
+	}
+	if req.Type == mem.Prefetch && fillHere && c.life != nil {
+		// Levels that do not install the block (AccessNoFill) stay silent:
+		// the level that fills — the LLC for low-confidence candidates —
+		// records its own fill event.
+		c.life.OnPrefetchLifecycle(c.cfg.Name, LifecycleEvent{
+			Kind: LifeFill, Block: block, At: at, Done: done, Req: req,
+			PrefID: req.PrefID, Core: uint8(req.Core),
+		})
 	}
 	if req.Type != mem.Prefetch && c.observer != nil {
 		c.observer.OnAccess(AccessInfo{Req: req, Hit: false, At: at, Done: done, Set: c.SetIndex(block)})

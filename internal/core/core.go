@@ -141,6 +141,14 @@ type Stats struct {
 	SelectedA     uint64 // follower accesses handled by Pref-PSA
 	SelectedB     uint64 // follower accesses handled by Pref-PSA-2MB
 	QueueDropped  uint64 // candidates dropped at a full prefetch queue
+
+	// CrossedPage4K counts issued prefetches whose target lies outside the
+	// trigger's 4KB page — exactly the prefetches page-size awareness
+	// unlocks, and the core signal behind the paper's coverage gains.
+	CrossedPage4K uint64
+	// PPM4K/PPM2M/PPM1G count trigger accesses whose PPM bit carried each
+	// page size to the engine (propagations by page size).
+	PPM4K, PPM2M, PPM1G uint64
 }
 
 // DiscardProbability returns the Figure 2 statistic.
@@ -230,6 +238,11 @@ func (e *Engine) Variant() Variant { return e.variant }
 // Csel returns the current selection counter (for tests and diagnostics).
 func (e *Engine) Csel() int { return e.csel }
 
+// PrefersB reports whether the dueling selector currently favours the
+// 2MB-indexed competitor (the MSB of Csel) — the "PSA-SD winner" telemetry
+// series samples this at epoch boundaries.
+func (e *Engine) PrefersB() bool { return e.csel>>(CselBits-1) != 0 }
+
 // leaderOf classifies an L2 set: prefA leader, prefB leader, or 0 (follower).
 func (e *Engine) leaderOf(set int) uint8 {
 	switch set % e.leaderEvery {
@@ -269,6 +282,16 @@ func (e *Engine) OnAccess(info cache.AccessInfo) {
 	req := info.Req
 	if req.Type != mem.Load && req.Type != mem.Store {
 		return // prefetchers train on demand data accesses only
+	}
+	if req.PageSizeKnown {
+		switch req.PageSize {
+		case mem.Page2M:
+			e.Stats.PPM2M++
+		case mem.Page1G:
+			e.Stats.PPM1G++
+		default:
+			e.Stats.PPM4K++
+		}
 	}
 	size := e.effectiveSize(req)
 	ctx := prefetch.Context{
@@ -364,6 +387,10 @@ func (e *Engine) operate(p prefetch.Prefetcher, id uint8, ctx prefetch.Context, 
 			return
 		}
 		e.Stats.Issued++
+		crossed := !mem.SamePage(trigger, c.Addr, mem.Page4K)
+		if crossed {
+			e.Stats.CrossedPage4K++
+		}
 		req := &mem.Request{
 			PAddr:         c.Addr,
 			PC:            ctx.PC,
@@ -373,6 +400,7 @@ func (e *Engine) operate(p prefetch.Prefetcher, id uint8, ctx prefetch.Context, 
 			PageSizeKnown: true,
 			FillL2:        c.FillL2,
 			PrefID:        id,
+			CrossedPage:   crossed,
 		}
 		at := ctx.At
 		if e.lastIssue >= at {

@@ -59,6 +59,25 @@ type Core struct {
 	// system's service rate instead of injecting unbounded traffic.
 	sbFree []mem.Cycle
 
+	// pending carries a trace access read but not yet pushed into the ROB
+	// across Run/RunUntil boundaries. Keeping it in the core (rather than a
+	// local of the run loop) makes execution independent of how callers chunk
+	// their Run calls: an instruction fetched just before an instruction or
+	// cycle bound is issued by the next call instead of being dropped.
+	pending     trace.Access
+	havePending bool
+	pendGap     int // non-memory ops still to issue before pending
+
+	// slotCycle/slotRetired/slotFetched carry the current cycle's consumed
+	// retire and fetch bandwidth across RunUntil boundaries. When a call
+	// returns mid-cycle (the instruction bound lands inside the retire burst),
+	// the next call resumes the same cycle with the remaining budget instead
+	// of granting a fresh Width — without this a chunked run retires more per
+	// cycle at every chunk boundary than a monolithic one.
+	slotCycle   mem.Cycle
+	slotRetired int
+	slotFetched int
+
 	// Cycle is the current simulated time; Instructions the retired count.
 	Cycle        mem.Cycle
 	Instructions uint64
@@ -103,6 +122,11 @@ func (c *Core) IPC() float64 {
 	return float64(c.Instructions) / float64(c.Cycle)
 }
 
+// ROBOccupancy returns the number of in-flight ROB entries (a telemetry
+// gauge; sampled at epoch boundaries it exposes how deeply the window is
+// backed up behind long-latency misses).
+func (c *Core) ROBOccupancy() int { return c.size }
+
 // Run executes up to maxInstructions from the reader (the trace may end
 // sooner) and returns the number retired. Run may be called repeatedly (e.g.
 // a warm-up run followed by a measured run with fresh counters).
@@ -117,52 +141,54 @@ func (c *Core) Run(r trace.Reader, maxInstructions uint64) uint64 {
 // ahead of its peers' clocks.
 func (c *Core) RunUntil(r trace.Reader, maxInstructions uint64, untilCycle mem.Cycle) uint64 {
 	start := c.Instructions
-	var acc trace.Access
-	havePending := false
-	gap := 0
 	fetchedAll := false
 
 	for c.Instructions-start < maxInstructions && c.Cycle < untilCycle {
-		// Retire up to Width completed instructions from the ROB head.
-		retired := 0
+		// Retire up to Width completed instructions from the ROB head,
+		// resuming any bandwidth already consumed this cycle by a previous
+		// call that returned mid-cycle.
+		retired, fetched := 0, 0
+		if c.Cycle == c.slotCycle {
+			retired, fetched = c.slotRetired, c.slotFetched
+		}
 		for c.size > 0 && retired < c.cfg.Width && c.rob[c.head] <= c.Cycle {
 			c.head = (c.head + 1) % c.cfg.ROBSize
 			c.size--
 			retired++
 			c.Instructions++
 			if c.Instructions-start >= maxInstructions {
+				c.slotCycle, c.slotRetired, c.slotFetched = c.Cycle, retired, fetched
 				return c.Instructions - start
 			}
 		}
 
 		// Fetch up to Width instructions into the ROB.
-		fetched := 0
 		for !fetchedAll && c.size < c.cfg.ROBSize && fetched < c.cfg.Width {
-			if !havePending {
-				if !r.Next(&acc) {
+			if !c.havePending {
+				if !r.Next(&c.pending) {
 					fetchedAll = true
 					break
 				}
-				gap = acc.Gap
-				havePending = true
+				c.pendGap = c.pending.Gap
+				c.havePending = true
 			}
 			if c.fetchReady > c.Cycle {
 				break // front-end stall: an instruction block is in flight
 			}
 			if c.ifetch != nil {
-				if blk := mem.BlockAlign(acc.PC); blk != c.lastIBlock {
+				if blk := mem.BlockAlign(c.pending.PC); blk != c.lastIBlock {
 					c.lastIBlock = blk
-					if done := c.ifetch.FetchInstr(acc.PC, c.Cycle); done > c.Cycle {
+					if done := c.ifetch.FetchInstr(c.pending.PC, c.Cycle); done > c.Cycle {
 						c.fetchReady = done
 						break
 					}
 				}
 			}
-			if gap > 0 {
-				gap--
+			if c.pendGap > 0 {
+				c.pendGap--
 				c.push(c.Cycle) // non-memory op: completes immediately
 			} else {
-				if acc.Write {
+				if c.pending.Write {
 					// Stores allocate a store-buffer slot; they retire as
 					// soon as a slot is free and hold it until the write
 					// completes in memory.
@@ -176,17 +202,17 @@ func (c *Core) RunUntil(r trace.Reader, maxInstructions uint64, untilCycle mem.C
 					if start < c.Cycle {
 						start = c.Cycle
 					}
-					c.sbFree[slot] = c.ms.Access(acc.PC, acc.VAddr, true, start)
+					c.sbFree[slot] = c.ms.Access(c.pending.PC, c.pending.VAddr, true, start)
 					done := start
 					c.pushKind(done, 2)
-					havePending = false
+					c.havePending = false
 					fetched++
 					continue
 				}
-				done := c.ms.Access(acc.PC, acc.VAddr, acc.Write, c.Cycle)
+				done := c.ms.Access(c.pending.PC, c.pending.VAddr, c.pending.Write, c.Cycle)
 				c.Loads++
 				c.pushKind(done, 1)
-				havePending = false
+				c.havePending = false
 			}
 			fetched++
 		}

@@ -216,6 +216,81 @@ func TestFrontEndHitsAreFree(t *testing.T) {
 	}
 }
 
+func TestChunkedRunMatchesMonolithic(t *testing.T) {
+	// Splitting a run into arbitrary Run-call chunks must not change the
+	// execution: the pending trace access survives call boundaries in the
+	// core instead of being dropped. Chunk sizes deliberately misalign with
+	// the gap structure so boundaries land mid-record.
+	mkAccs := func() []trace.Access {
+		accs := make([]trace.Access, 3000)
+		for i := range accs {
+			accs[i] = trace.Access{
+				PC:    mem.Addr(i%17) * mem.BlockSize,
+				VAddr: mem.Addr(i*67) << 8,
+				Write: i%5 == 0,
+				Gap:   i % 4,
+			}
+		}
+		return accs
+	}
+
+	mono := New(DefaultConfig(), &fixedMem{latency: 37})
+	monoTotal := mono.Run(&sliceReader{accs: mkAccs()}, 1<<30)
+
+	for _, chunk := range []uint64{1, 7, 97, 1001} {
+		ms := &fixedMem{latency: 37}
+		c := New(DefaultConfig(), ms)
+		r := &sliceReader{accs: mkAccs()}
+		var total uint64
+		for {
+			got := c.Run(r, chunk)
+			total += got
+			if got < chunk {
+				break
+			}
+		}
+		if total != monoTotal {
+			t.Errorf("chunk %d: retired %d, monolithic retired %d", chunk, total, monoTotal)
+		}
+		if c.Cycle != mono.Cycle || c.Loads != mono.Loads || c.Stores != mono.Stores {
+			t.Errorf("chunk %d: cycle/loads/stores = %d/%d/%d, want %d/%d/%d",
+				chunk, c.Cycle, c.Loads, c.Stores, mono.Cycle, mono.Loads, mono.Stores)
+		}
+	}
+}
+
+func TestChunkBoundaryKeepsRetireWidth(t *testing.T) {
+	// A width-bound stream (zero-latency memory) exposes the per-cycle retire
+	// budget: a chunk boundary landing mid-retire-burst must not grant the
+	// resuming call a fresh Width in the same cycle.
+	mkAccs := func() []trace.Access { return loadsWithGap(500, 3) }
+
+	mono := New(Config{Width: 4, ROBSize: 64}, &fixedMem{latency: 0})
+	mono.Run(&sliceReader{accs: mkAccs()}, 1<<30)
+
+	for _, chunk := range []uint64{1, 3, 5} {
+		c := New(Config{Width: 4, ROBSize: 64}, &fixedMem{latency: 0})
+		r := &sliceReader{accs: mkAccs()}
+		for {
+			if got := c.Run(r, chunk); got < chunk {
+				break
+			}
+		}
+		if c.Cycle != mono.Cycle || c.Instructions != mono.Instructions {
+			t.Errorf("chunk %d: cycles/instructions = %d/%d, want %d/%d",
+				chunk, c.Cycle, c.Instructions, mono.Cycle, mono.Instructions)
+		}
+	}
+}
+
+func TestROBOccupancyGauge(t *testing.T) {
+	c := New(Config{Width: 4, ROBSize: 32}, &fixedMem{latency: 1 << 40})
+	c.Run(&sliceReader{accs: loadsWithGap(8, 0)}, 4)
+	if got := c.ROBOccupancy(); got == 0 || got > 32 {
+		t.Errorf("ROBOccupancy = %d, want within (0,32] while loads are outstanding", got)
+	}
+}
+
 func TestRunUntilCycleBound(t *testing.T) {
 	c := New(DefaultConfig(), &fixedMem{latency: 10})
 	r := &sliceReader{accs: loadsWithGap(100000, 2)}

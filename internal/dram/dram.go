@@ -120,6 +120,21 @@ func New(cfg Config) *DRAM {
 // BurstCycles returns the bus occupancy per block in core cycles.
 func (d *DRAM) BurstCycles() mem.Cycle { return d.burstCycles }
 
+// BusyBanks returns how many banks (across all channels) are still busy at
+// cycle `at` (a telemetry gauge: sampled at epoch boundaries it exposes
+// bank-level queueing pressure).
+func (d *DRAM) BusyBanks(at mem.Cycle) int {
+	busy := 0
+	for _, banks := range d.bankFree {
+		for _, f := range banks {
+			if f > at {
+				busy++
+			}
+		}
+	}
+	return busy
+}
+
 // mapAddr decomposes a block address into channel, bank, and row.
 // Consecutive blocks stripe across channels; the bank is a hash of the row
 // (permutation-based interleaving), so concurrent streams at different rows

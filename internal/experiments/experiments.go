@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/progress"
 	"repro/internal/sim"
 	"repro/internal/simcache"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -57,6 +60,15 @@ type Options struct {
 	// Multi-core mix runs (figs 14-15) always simulate locally. Nil runs
 	// everything locally.
 	Remote BatchRunner
+	// TelemetryDir, when set, writes a per-epoch telemetry series (JSONL) for
+	// every locally simulated job under TelemetryDir/<experiment>/. Jobs
+	// served from the result cache or a Remote runner produce no artifact
+	// (there is no live simulation to sample); combine with a disabled cache
+	// to force artifacts for every job.
+	TelemetryDir string
+	// EpochInstructions is the telemetry sampling period
+	// (sim.DefaultEpochInstructions when zero).
+	EpochInstructions uint64
 }
 
 // BatchRunner executes a batch of single-core simulations somewhere else —
@@ -160,14 +172,60 @@ func runBatch(o Options, jobs []Job) ([]sim.Result, error) {
 // figure batches share baselines — are de-duplicated by the store's
 // single-flight DoContext.
 func runOne(ctx context.Context, o Options, j Job) (sim.Result, bool, error) {
+	run := func(ctx context.Context) (sim.Result, error) {
+		if o.TelemetryDir == "" {
+			return sim.RunContext(ctx, o.Config, j.Spec, j.Workload, o.runOpt())
+		}
+		ins := &sim.Instrumentation{
+			Collector:         telemetry.NewCollector(),
+			EpochInstructions: o.EpochInstructions,
+		}
+		r, err := sim.RunContext(sim.WithInstrumentation(ctx, ins), o.Config, j.Spec, j.Workload, o.runOpt())
+		if err == nil {
+			err = writeJobTelemetry(o, j, ins.Collector)
+		}
+		return r, err
+	}
 	if o.Cache == nil {
-		r, err := sim.RunContext(ctx, o.Config, j.Spec, j.Workload, o.runOpt())
+		r, err := run(ctx)
 		return r, false, err
 	}
 	key := simcache.Key(o.Config, j.Spec, j.Workload, o.runOpt())
-	return o.Cache.DoContext(ctx, key, func(ctx context.Context) (sim.Result, error) {
-		return sim.RunContext(ctx, o.Config, j.Spec, j.Workload, o.runOpt())
-	})
+	return o.Cache.DoContext(ctx, key, run)
+}
+
+// writeJobTelemetry writes one job's epoch series under
+// TelemetryDir/<experiment>/<workload>__<spec>.jsonl.
+func writeJobTelemetry(o Options, j Job, c *telemetry.Collector) error {
+	dir := filepath.Join(o.TelemetryDir, sanitizeName(o.Label))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := sanitizeName(j.Workload.Name) + "__" + sanitizeName(j.Spec.String()) + ".jsonl"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanitizeName makes a workload or spec name filesystem-safe (trace-replay
+// workloads are named by their path; L1 specs contain '+').
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', '*', '?', '"', '<', '>', '|', ' ':
+			return '-'
+		}
+		return r
+	}, s)
 }
 
 // speedupPct converts an IPC pair into percent speedup.

@@ -176,4 +176,9 @@ type Request struct {
 	// PrefID annotates which competing prefetcher issued a Prefetch
 	// request (set-dueling annotation bit, Section IV-B2). Zero otherwise.
 	PrefID uint8
+
+	// CrossedPage marks a Prefetch whose target lies outside the trigger
+	// access's 4KB page — the prefetches page-size awareness unlocks. Set by
+	// the issuing engine; carried for lifecycle-tracing attribution only.
+	CrossedPage bool
 }

@@ -40,15 +40,20 @@ func (s Snapshot) SimsPerSec() float64 {
 	return float64(s.Executed) / s.Elapsed.Seconds()
 }
 
-// ETA estimates time to completion from the overall finish rate. Cache hits
-// complete essentially instantly, so the rate is computed over all finished
-// jobs, which adapts automatically to hit-heavy and miss-heavy batches.
+// ETA estimates time to completion. Cache-hit replays finish in
+// microseconds, so only executed simulations carry timing signal: dividing
+// elapsed time by all finished jobs would let a cache-warm prefix (typical
+// when resuming an interrupted figure) make the all-miss tail look nearly
+// free. The estimate therefore prices every remaining job at the observed
+// per-executed-simulation cost — pessimistic when the tail has hits, but
+// hits then drain the estimate at their real (instant) speed. With no
+// executed simulation yet there is no rate to extrapolate: ETA is 0.
 func (s Snapshot) ETA() time.Duration {
-	if s.Done == 0 || s.Done >= s.Total {
+	if s.Executed == 0 || s.Done >= s.Total {
 		return 0
 	}
-	perJob := s.Elapsed / time.Duration(s.Done)
-	return perJob * time.Duration(s.Total-s.Done)
+	perSim := s.Elapsed / time.Duration(s.Executed)
+	return perSim * time.Duration(s.Total-s.Done)
 }
 
 // String renders the one-line status.

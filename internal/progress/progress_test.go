@@ -30,11 +30,12 @@ func TestSnapshotMath(t *testing.T) {
 	if got := s.SimsPerSec(); got != 3 {
 		t.Errorf("sims/sec = %v", got)
 	}
-	if got := s.ETA(); got != 10*time.Second {
-		t.Errorf("ETA = %v", got)
+	// 30 executed sims over 10s → 1/3 s per sim; 50 jobs remain.
+	if got, want := s.ETA(), 10*time.Second/30*50; got != want {
+		t.Errorf("ETA = %v, want %v", got, want)
 	}
 	line := s.String()
-	for _, want := range []string{"fig8: 50/100 sims", "40% cached", "3.0 sims/s", "ETA 10s"} {
+	for _, want := range []string{"fig8: 50/100 sims", "40% cached", "3.0 sims/s", "ETA 17s"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("line %q missing %q", line, want)
 		}
@@ -43,6 +44,16 @@ func TestSnapshotMath(t *testing.T) {
 	empty := Snapshot{}
 	if empty.HitRate() != 0 || empty.SimsPerSec() != 0 || empty.ETA() != 0 {
 		t.Error("empty snapshot produced nonzero rates")
+	}
+	// A batch that has only replayed cache hits has no execution rate to
+	// extrapolate: ETA must be 0, not a division by zero or a tiny
+	// per-hit estimate.
+	allHits := Snapshot{Done: 10, Total: 100, Hits: 10, Elapsed: time.Second}
+	if got := allHits.ETA(); got != 0 {
+		t.Errorf("all-hits ETA = %v, want 0", got)
+	}
+	if got := allHits.SimsPerSec(); got != 0 {
+		t.Errorf("all-hits sims/sec = %v, want 0", got)
 	}
 	if got := (Snapshot{}).String(); !strings.Contains(got, "batch: 0/0") {
 		t.Errorf("unlabeled line = %q", got)
@@ -111,6 +122,42 @@ func TestTrackerConcurrentSteps(t *testing.T) {
 	s := tr.Snapshot()
 	if s.Done != 64 || s.Hits != 32 || s.Executed != 32 {
 		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+// TestTrackerETAExcludesHits drives a tracker with the fake clock through a
+// cache-warm prefix followed by executed sims and checks the ETA rate is the
+// per-executed-simulation cost, unaffected by how many hits replayed.
+func TestTrackerETAExcludesHits(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0), step: 100 * time.Millisecond}
+	tr := New(nil, "resume", 10)
+	tr.now, tr.start = clock.now, clock.t
+
+	// Resumed run: the first four jobs replay from the cache.
+	for i := 0; i < 4; i++ {
+		tr.Step(true)
+	}
+	if got := tr.Snapshot().ETA(); got != 0 {
+		t.Errorf("hit-only prefix ETA = %v, want 0 (no execution rate yet)", got)
+	}
+
+	// Two sims execute. Each Step and each Snapshot ticks the clock 100ms;
+	// compute the expected rate from the snapshot itself rather than
+	// replicating the tick count.
+	tr.Step(false)
+	tr.Step(false)
+	s := tr.Snapshot()
+	if s.Executed != 2 || s.Done != 6 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	want := s.Elapsed / 2 * 4 // per-sim cost × 4 remaining jobs
+	if got := s.ETA(); got != want {
+		t.Errorf("ETA = %v, want %v", got, want)
+	}
+	// Had the denominator been all six finished jobs, the estimate would be
+	// a third of that — the bias this guards against.
+	if wrong := s.Elapsed / 6 * 4; want == wrong {
+		t.Fatal("test cannot distinguish the two formulas")
 	}
 }
 

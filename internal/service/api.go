@@ -60,6 +60,27 @@ func (s JobStatus) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
+// JobTelemetry is an aggregate simulator-telemetry snapshot over a job's
+// completed simulations so far: headline rates clients can chart live from
+// the SSE stream without waiting for the full result set.
+type JobTelemetry struct {
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	L1DHitRatio  float64 `json:"l1d_hit_ratio"`
+	L2HitRatio   float64 `json:"l2_hit_ratio"`
+	LLCHitRatio  float64 `json:"llc_hit_ratio"`
+	L2MPKI       float64 `json:"l2_mpki"`
+	L2Accuracy   float64 `json:"l2_accuracy"`
+	L2Coverage   float64 `json:"l2_coverage"`
+	// PrefIssued/PrefCross4K count L2-engine prefetches, PrefCross4K the ones
+	// crossing a 4KB boundary (the paper's page-size-awareness signal);
+	// CrossPageRate is their ratio.
+	PrefIssued    uint64  `json:"pf_issued"`
+	PrefCross4K   uint64  `json:"pf_cross4k"`
+	CrossPageRate float64 `json:"pf_cross4k_rate"`
+}
+
 // JobView is the externally visible state of a job.
 type JobView struct {
 	ID     string    `json:"id"`
@@ -72,6 +93,9 @@ type JobView struct {
 	Hits     int    `json:"hits"`
 	Executed int    `json:"executed"`
 	Error    string `json:"error,omitempty"`
+	// Telemetry aggregates the completed simulations' headline metrics; nil
+	// until the first simulation finishes.
+	Telemetry *JobTelemetry `json:"telemetry,omitempty"`
 	// Results, in submission order, present once Status is "done".
 	Results []sim.Result `json:"results,omitempty"`
 }
@@ -90,6 +114,9 @@ type Event struct {
 	Hits     int       `json:"hits"`
 	Executed int       `json:"executed"`
 	Error    string    `json:"error,omitempty"`
+	// Telemetry aggregates completed simulations' headline metrics so far;
+	// nil until the first completion.
+	Telemetry *JobTelemetry `json:"telemetry,omitempty"`
 }
 
 // Terminal reports whether this event ends the stream.

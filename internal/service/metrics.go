@@ -28,6 +28,9 @@ type metrics struct {
 	cacheHits    atomic.Uint64 // sims served without executing (disk or shared flight)
 	simsExecuted atomic.Uint64 // sims that actually ran
 
+	pfIssued  atomic.Uint64 // L2-engine prefetches issued across completed sims
+	pfCross4K atomic.Uint64 // ...of which crossed a 4KB page boundary
+
 	latMu sync.Mutex
 	lats  [latWindow]float64 // seconds, ring buffer
 	latN  uint64             // total observations
@@ -100,6 +103,24 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("psimd_cache_misses_total", "Simulations computed (cache misses).", st.Misses)
 	gauge("psimd_cache_hit_ratio", "Hits plus shared over all lookups since start.", fmt.Sprintf("%.4f", st.HitRate()))
 	counter("psimd_sims_executed_total", "Simulations actually executed by this daemon.", m.simsExecuted.Load())
+
+	issued, crossed := m.pfIssued.Load(), m.pfCross4K.Load()
+	counter("psimd_pf_issued_total", "L2-engine prefetches issued across completed simulations.", issued)
+	counter("psimd_pf_cross4k_total", "Issued prefetches that crossed a 4KB page boundary.", crossed)
+	crossRate := 0.0
+	if issued > 0 {
+		crossRate = float64(crossed) / float64(issued)
+	}
+	gauge("psimd_pf_cross4k_rate", "Cross-page share of issued prefetches across completed simulations.", fmt.Sprintf("%.4f", crossRate))
+
+	liveN, live := s.liveTelemetry()
+	gauge("psimd_live_sims", "Executing simulations with at least one closed telemetry epoch.", liveN)
+	gauge("psimd_live_ipc", "Mean latest-epoch IPC across executing simulations.", fmt.Sprintf("%.4f", live["ipc"]))
+	gauge("psimd_live_cross4k_rate", "Mean latest-epoch cross-page prefetch rate across executing simulations.", fmt.Sprintf("%.4f", live["pf_cross4k_rate"]))
+	fmt.Fprintf(w, "# HELP psimd_live_hit_ratio Mean latest-epoch demand hit ratio across executing simulations.\n# TYPE psimd_live_hit_ratio gauge\n")
+	for _, lvl := range []string{"l1d", "l2", "llc"} {
+		fmt.Fprintf(w, "psimd_live_hit_ratio{level=%q} %.4f\n", lvl, live[lvl+"_hit_ratio"])
+	}
 
 	uptime := time.Since(m.start).Seconds()
 	gauge("psimd_uptime_seconds", "Seconds since daemon start.", fmt.Sprintf("%.1f", uptime))

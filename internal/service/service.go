@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/simcache"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -58,6 +59,12 @@ type Config struct {
 	// KeepFinished is how many terminal jobs remain queryable before the
 	// oldest are evicted (default 256).
 	KeepFinished int
+	// DisableTelemetry turns off live per-simulation instrumentation: jobs
+	// then emit no SSE telemetry snapshots from executed sims and /metrics
+	// reports no live simulator gauges. Instrumentation is observational
+	// (results and cache keys are unaffected), so this only trades the small
+	// sampling overhead against visibility.
+	DisableTelemetry bool
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +104,67 @@ type unit struct {
 	spec sim.PrefSpec
 }
 
+// telAccum sums the headline counters of a job's completed simulations
+// (cache hits included — a recalled Result carries the same stats), from
+// which snapshot derives the JobTelemetry rates for SSE events.
+type telAccum struct {
+	sims          int
+	instr, cycles uint64
+
+	l1dHits, l1dMisses uint64
+	l2Hits, l2Misses   uint64
+	llcHits, llcMisses uint64
+
+	l2Useful, l2Late, l2Unused uint64
+	pfIssued, pfCross4K        uint64
+}
+
+func (a *telAccum) add(r sim.Result) {
+	a.sims++
+	a.instr += r.Instructions
+	a.cycles += uint64(r.Cycles)
+	a.l1dHits += r.L1D.DemandHits
+	a.l1dMisses += r.L1D.DemandMisses
+	a.l2Hits += r.L2.DemandHits
+	a.l2Misses += r.L2.DemandMisses
+	a.llcHits += r.LLC.DemandHits
+	a.llcMisses += r.LLC.DemandMisses
+	a.l2Useful += r.L2.PrefetchUseful
+	a.l2Late += r.L2.PrefetchLate
+	a.l2Unused += r.L2.PrefetchUnused
+	a.pfIssued += r.Engine.Issued
+	a.pfCross4K += r.Engine.CrossedPage4K
+}
+
+// snapshot derives the wire-level aggregate; nil before the first completed
+// simulation (a job that has only cache misses pending has nothing to show).
+func (a *telAccum) snapshot() *JobTelemetry {
+	if a.sims == 0 {
+		return nil
+	}
+	div := func(num, den float64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	t := &JobTelemetry{
+		Instructions: a.instr,
+		Cycles:       a.cycles,
+		PrefIssued:   a.pfIssued,
+		PrefCross4K:  a.pfCross4K,
+	}
+	t.IPC = div(float64(a.instr), float64(a.cycles))
+	t.L1DHitRatio = div(float64(a.l1dHits), float64(a.l1dHits+a.l1dMisses))
+	t.L2HitRatio = div(float64(a.l2Hits), float64(a.l2Hits+a.l2Misses))
+	t.LLCHitRatio = div(float64(a.llcHits), float64(a.llcHits+a.llcMisses))
+	t.L2MPKI = div(float64(a.l2Misses)*1000, float64(a.instr))
+	t.L2Accuracy = div(float64(a.l2Useful+a.l2Late), float64(a.l2Useful+a.l2Late+a.l2Unused))
+	t.L2Coverage = div(float64(a.l2Useful), float64(a.l2Useful+a.l2Misses))
+	t.CrossPageRate = div(float64(a.pfCross4K), float64(a.pfIssued))
+	return t
+}
+
 // jobState is a job's full server-side state. The events slice is
 // append-only; changed is closed and replaced on every append, which lets
 // any number of SSE subscribers replay history and then follow live without
@@ -115,6 +183,7 @@ type jobState struct {
 	done     int
 	hits     int
 	executed int
+	tel      telAccum
 	results  []sim.Result
 	errMsg   string
 	events   []Event
@@ -128,6 +197,7 @@ func (j *jobState) view() JobView {
 	v := JobView{
 		ID: j.id, Status: j.status, Total: len(j.units),
 		Done: j.done, Hits: j.hits, Executed: j.executed, Error: j.errMsg,
+		Telemetry: j.tel.snapshot(),
 	}
 	if j.status == StatusDone {
 		v.Results = j.results
@@ -141,14 +211,15 @@ func (j *jobState) emitLocked(typ string) {
 	j.events = append(j.events, Event{
 		Seq: len(j.events) + 1, Type: typ, Job: j.id, Status: j.status,
 		Done: j.done, Total: len(j.units), Hits: j.hits, Executed: j.executed,
-		Error: j.errMsg,
+		Error: j.errMsg, Telemetry: j.tel.snapshot(),
 	})
 	close(j.changed)
 	j.changed = make(chan struct{})
 }
 
-// step records one finished simulation and emits a progress event.
-func (j *jobState) step(hit bool) {
+// step records one finished simulation, folds its result into the job's
+// telemetry aggregate, and emits a progress event carrying the snapshot.
+func (j *jobState) step(hit bool, res sim.Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.done++
@@ -157,6 +228,7 @@ func (j *jobState) step(hit bool) {
 	} else {
 		j.executed++
 	}
+	j.tel.add(res)
 	j.emitLocked("progress")
 }
 
@@ -181,6 +253,12 @@ type Server struct {
 	wg sync.WaitGroup
 	m  metrics
 
+	// live holds the collector of every currently executing instrumented
+	// simulation; /metrics averages their latest epochs into the
+	// psimd_live_* gauges.
+	liveMu sync.Mutex
+	live   map[*telemetry.Collector]struct{}
+
 	// simFn runs one simulation; tests substitute controllable stand-ins.
 	simFn func(ctx context.Context, cfg sim.Config, spec sim.PrefSpec, w trace.Workload, opt sim.RunOpt) (sim.Result, error)
 }
@@ -196,6 +274,7 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    map[string]*jobState{},
+		live:    map[*telemetry.Collector]struct{}{},
 		m:       newMetrics(),
 		simFn:   sim.RunContext,
 	}
@@ -431,7 +510,9 @@ func (s *Server) runJob(j *jobState) {
 				} else {
 					s.m.simsExecuted.Add(1)
 				}
-				j.step(hit)
+				s.m.pfIssued.Add(results[i].Engine.Issued)
+				s.m.pfCross4K.Add(results[i].Engine.CrossedPage4K)
+				j.step(hit, results[i])
 			}
 		}(i, u)
 	}
@@ -462,9 +543,17 @@ func (s *Server) runJob(j *jobState) {
 	}
 }
 
-// simulate runs (or recalls) one simulation through the shared store.
+// simulate runs (or recalls) one simulation through the shared store. Unless
+// telemetry is disabled, each executed simulation (cache hits never execute)
+// carries a live collector that /metrics samples while the run is in flight.
 func (s *Server) simulate(ctx context.Context, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, bool, error) {
 	run := func(ctx context.Context) (sim.Result, error) {
+		if !s.cfg.DisableTelemetry {
+			col := telemetry.NewCollector()
+			s.addLive(col)
+			defer s.removeLive(col)
+			ctx = sim.WithInstrumentation(ctx, &sim.Instrumentation{Collector: col})
+		}
 		return s.simFn(ctx, cfg, u.spec, u.w, opt)
 	}
 	if s.cfg.Store == nil {
@@ -472,6 +561,53 @@ func (s *Server) simulate(ctx context.Context, cfg sim.Config, u unit, opt sim.R
 		return r, false, err
 	}
 	return s.cfg.Store.DoContext(ctx, simcache.Key(cfg, u.spec, u.w, opt), run)
+}
+
+func (s *Server) addLive(c *telemetry.Collector) {
+	s.liveMu.Lock()
+	s.live[c] = struct{}{}
+	s.liveMu.Unlock()
+}
+
+func (s *Server) removeLive(c *telemetry.Collector) {
+	s.liveMu.Lock()
+	delete(s.live, c)
+	s.liveMu.Unlock()
+}
+
+// liveMetricKeys are the derived per-epoch metrics averaged across executing
+// simulations for the /metrics psimd_live_* gauges (names from the
+// simulator's telemetry probes).
+var liveMetricKeys = []string{"ipc", "l1d_hit_ratio", "l2_hit_ratio", "llc_hit_ratio", "pf_cross4k_rate"}
+
+// liveTelemetry averages the latest closed epoch of every executing
+// simulation's collector. n counts only runs that have closed at least one
+// epoch; avg is nil when n is zero.
+func (s *Server) liveTelemetry() (n int, avg map[string]float64) {
+	s.liveMu.Lock()
+	cols := make([]*telemetry.Collector, 0, len(s.live))
+	for c := range s.live {
+		cols = append(cols, c)
+	}
+	s.liveMu.Unlock()
+	sums := map[string]float64{}
+	for _, c := range cols {
+		m := c.Latest()
+		if m == nil {
+			continue // still inside its first epoch
+		}
+		n++
+		for _, k := range liveMetricKeys {
+			sums[k] += m[k]
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	for k := range sums {
+		sums[k] /= float64(n)
+	}
+	return n, sums
 }
 
 // Draining reports whether the server has stopped accepting jobs.

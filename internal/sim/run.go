@@ -58,6 +58,12 @@ func Run(cfg Config, spec PrefSpec, w trace.Workload, opt RunOpt) (Result, error
 // sampling boundary (opt.Instructions/opt.Samples retired instructions), so a
 // canceled run stops within one chunk and returns ctx.Err(). Results of
 // canceled runs are partial and must not be cached.
+//
+// The context may also carry an *Instrumentation (WithInstrumentation): the
+// run then additionally stops at every telemetry epoch boundary to sample the
+// collector's probes. Execution is chunk-invariant (the CPU model carries
+// in-flight state across Run calls), so instrumented and plain runs produce
+// identical results.
 func RunContext(ctx context.Context, cfg Config, spec PrefSpec, w trace.Workload, opt RunOpt) (Result, error) {
 	sys, err := newSystem(cfg, spec, []trace.Workload{w}, opt.Seed)
 	if err != nil {
@@ -72,6 +78,8 @@ func RunContext(ctx context.Context, cfg Config, spec PrefSpec, w trace.Workload
 		n.cpu.Run(n.reader, opt.Warmup)
 	}
 	resetStats(sys)
+	ins := InstrumentationFrom(ctx)
+	ins.attach(sys)
 	instrStart, cycleStart := n.cpu.Instructions, n.cpu.Cycle
 
 	samples := opt.Samples
@@ -83,19 +91,39 @@ func RunContext(ctx context.Context, cfg Config, spec PrefSpec, w trace.Workload
 	if chunk == 0 {
 		chunk = opt.Instructions
 	}
-	var run uint64
+	epoch := ins.epochLen()
+
+	// The loop advances to the nearest of the next Frac2M sample point and the
+	// next telemetry epoch boundary. Frac2M samples land exactly where the
+	// uninstrumented loop put them (every `chunk` retired instructions and at
+	// the drain point), so the series is invariant under instrumentation.
+	var run, lastEpochClose uint64
+	nextSample := minU64(chunk, opt.Instructions)
+	nextEpoch := uint64(0)
+	if epoch > 0 {
+		nextEpoch = minU64(epoch, opt.Instructions)
+	}
 	for run < opt.Instructions {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		want := chunk
-		if rem := opt.Instructions - run; rem < want {
-			want = rem
+		target := nextSample
+		if epoch > 0 && nextEpoch < target {
+			target = nextEpoch
 		}
-		got := n.cpu.Run(n.reader, want)
+		got := n.cpu.Run(n.reader, target-run)
 		run += got
-		res.Frac2MOverTime = append(res.Frac2MOverTime, sys.alloc.Frac2M())
-		if got < want {
+		drained := run < target
+		if run == nextSample || drained {
+			res.Frac2MOverTime = append(res.Frac2MOverTime, sys.alloc.Frac2M())
+			nextSample = minU64(nextSample+chunk, opt.Instructions)
+		}
+		if epoch > 0 && (run == nextEpoch || (drained && run > lastEpochClose)) {
+			ins.Collector.EndEpoch(n.cpu.Instructions-instrStart, uint64(n.cpu.Cycle-cycleStart))
+			lastEpochClose = run
+			nextEpoch = minU64(nextEpoch+epoch, opt.Instructions)
+		}
+		if drained {
 			break // trace drained
 		}
 	}
@@ -134,8 +162,18 @@ func resetStats(sys *system) {
 		}
 		n.mmu.L1().Hits, n.mmu.L1().Misses = 0, 0
 		n.mmu.L2().Hits, n.mmu.L2().Misses = 0, 0
+		n.mmu.L1().HitsBy = [mem.NumPageSizes]uint64{}
+		n.mmu.L2().HitsBy = [mem.NumPageSizes]uint64{}
 		n.mmu.Walks, n.mmu.WalkRefs = 0, 0
+		n.mmu.WalksBy = [mem.NumPageSizes]uint64{}
 	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // MultiResult is the outcome of a multi-core mix run.

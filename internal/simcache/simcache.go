@@ -39,7 +39,11 @@ import (
 //
 // v2: keys gained the workload ContentID (trace-file digest), closing the
 // stale-replay hazard where a re-recorded trace file kept its old entry.
-const SchemaVersion = 2
+//
+// v3: the CPU model became chunk-invariant (in-flight trace accesses and the
+// current cycle's consumed retire/fetch bandwidth now persist across Run
+// calls), which slightly shifts cycle counts relative to v2 entries.
+const SchemaVersion = 3
 
 // keyBlob is the canonical serialized form of everything a simulation's
 // outcome depends on. Workloads are identified by catalogue name plus their

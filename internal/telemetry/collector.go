@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Lookup resolves a metric computed earlier in the same epoch (registration
+// order), plus the builtin "instructions" and "cycles" deltas. Unknown names
+// resolve to 0.
+type Lookup func(name string) float64
+
+// probeKind distinguishes how a probe's epoch value is produced.
+type probeKind uint8
+
+const (
+	counterProbe probeKind = iota // cumulative source → per-epoch delta
+	gaugeProbe                    // instantaneous value at the boundary
+	derivedProbe                  // computed from this epoch's values
+)
+
+type probe struct {
+	name    string
+	kind    probeKind
+	u64     func() uint64
+	f64     func() float64
+	derived func(Lookup) float64
+	last    uint64 // previous cumulative value (counter probes)
+}
+
+// Epoch is one sampled interval of the series.
+type Epoch struct {
+	Index        int                `json:"epoch"`
+	Instructions uint64             `json:"instructions"`
+	Cycles       uint64             `json:"cycles"`
+	Metrics      map[string]float64 `json:"metrics"`
+}
+
+// Collector samples registered probes at epoch boundaries into a time
+// series. Registration happens once at system construction; EndEpoch runs
+// on the simulation goroutine at epoch boundaries only, so nothing here is
+// on the per-access hot path. Latest and Series may be called concurrently
+// with EndEpoch (psimd scrapes live runs).
+type Collector struct {
+	mu        sync.Mutex
+	probes    []probe
+	seen      map[string]bool
+	epochs    []Epoch
+	lastInstr uint64
+	lastCycle uint64
+	latest    map[string]float64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{seen: map[string]bool{}}
+}
+
+func (c *Collector) register(p probe) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen[p.name] {
+		panic(fmt.Sprintf("telemetry: duplicate probe %q", p.name))
+	}
+	c.seen[p.name] = true
+	if p.kind == counterProbe {
+		// Snapshot the current cumulative value as the baseline, so counts
+		// accumulated before registration (e.g. during warm-up) never leak
+		// into the first epoch's delta.
+		p.last = p.u64()
+	}
+	c.probes = append(c.probes, p)
+}
+
+// AddCounter registers a cumulative counter source; each epoch records the
+// delta since the previous boundary (the value at registration time is the
+// baseline). Nil-safe.
+func (c *Collector) AddCounter(name string, fn func() uint64) {
+	c.register(probe{name: name, kind: counterProbe, u64: fn})
+}
+
+// AddGauge registers an instantaneous value sampled at each boundary.
+// Nil-safe.
+func (c *Collector) AddGauge(name string, fn func() float64) {
+	c.register(probe{name: name, kind: gaugeProbe, f64: fn})
+}
+
+// AddDerived registers a metric computed from values already recorded this
+// epoch (probes registered before it, plus "instructions" and "cycles").
+// Nil-safe.
+func (c *Collector) AddDerived(name string, fn func(Lookup) float64) {
+	c.register(probe{name: name, kind: derivedProbe, derived: fn})
+}
+
+// EndEpoch closes the current epoch at the given cumulative instruction and
+// cycle counts, sampling every probe. Nil-safe.
+func (c *Collector) EndEpoch(instructions, cycles uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep := Epoch{
+		Index:        len(c.epochs),
+		Instructions: instructions - c.lastInstr,
+		Cycles:       cycles - c.lastCycle,
+		Metrics:      make(map[string]float64, len(c.probes)),
+	}
+	c.lastInstr, c.lastCycle = instructions, cycles
+	lookup := func(name string) float64 {
+		switch name {
+		case "instructions":
+			return float64(ep.Instructions)
+		case "cycles":
+			return float64(ep.Cycles)
+		}
+		return ep.Metrics[name]
+	}
+	for i := range c.probes {
+		p := &c.probes[i]
+		switch p.kind {
+		case counterProbe:
+			cur := p.u64()
+			ep.Metrics[p.name] = float64(cur - p.last)
+			p.last = cur
+		case gaugeProbe:
+			ep.Metrics[p.name] = p.f64()
+		case derivedProbe:
+			ep.Metrics[p.name] = p.derived(lookup)
+		}
+	}
+	c.epochs = append(c.epochs, ep)
+	c.latest = ep.Metrics
+}
+
+// Epochs returns the recorded series (shared backing array; callers must
+// not mutate). Nil-safe.
+func (c *Collector) Epochs() []Epoch {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs
+}
+
+// Latest returns the most recent epoch's metric values (nil before the
+// first boundary). The map is the epoch's own and must not be mutated.
+// Nil-safe.
+func (c *Collector) Latest() map[string]float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.latest
+}
+
+// WriteJSONL writes the series as one JSON object per line:
+//
+//	{"epoch":0,"instructions":100000,"cycles":182345,"metrics":{...}}
+//
+// Metric keys are sorted (Go's map marshalling), so the schema is stable
+// and diffable.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ep := range c.Epochs() {
+		if err := enc.Encode(ep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the series as CSV with a header of
+// epoch,instructions,cycles followed by the metric names in sorted order.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	epochs := c.Epochs()
+	if len(epochs) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(epochs[0].Metrics))
+	for n := range epochs[0].Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	header := "epoch,instructions,cycles"
+	for _, n := range names {
+		header += "," + n
+	}
+	if _, err := io.WriteString(w, header+"\n"); err != nil {
+		return err
+	}
+	for _, ep := range epochs {
+		row := strconv.Itoa(ep.Index) + "," +
+			strconv.FormatUint(ep.Instructions, 10) + "," +
+			strconv.FormatUint(ep.Cycles, 10)
+		for _, n := range names {
+			row += "," + strconv.FormatFloat(ep.Metrics[n], 'g', -1, 64)
+		}
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

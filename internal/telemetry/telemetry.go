@@ -1,0 +1,231 @@
+// Package telemetry is the simulator's zero-dependency instrumentation
+// layer. It provides three pieces:
+//
+//   - Registry primitives (Counter, Gauge, Histogram): allocation-free
+//     atomic metrics that components bump on their hot paths and exporters
+//     read concurrently.
+//   - Collector: an epoch-series sampler. Components register probes once
+//     (cumulative counters, instantaneous gauges, or derived ratios); the
+//     run loop calls EndEpoch at each epoch boundary and the collector turns
+//     cumulative values into per-epoch deltas, building a time series
+//     exportable as JSONL or CSV.
+//   - Tracer (tracer.go): a preallocated ring of prefetch lifecycle events
+//     (issue→fill→first-use/evict) exportable as JSONL or Chrome
+//     trace_event JSON.
+//
+// Everything is observational: probes read component state, they never
+// mutate it, so an instrumented run retires the same instructions in the
+// same cycles as an uninstrumented one. All exported types tolerate nil
+// receivers on their hot-path methods so call sites need no telemetry-off
+// branches.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe (zero).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float value, stored atomically so scrapers can
+// read it from other goroutines.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the gauge value. Nil-safe (zero).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into explicit upper-bound buckets plus an
+// overflow bucket. Bounds are inclusive upper edges and must be ascending.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1: last is the overflow bucket
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// NewHistogram creates a histogram with the given ascending inclusive
+// upper-bound bucket edges.
+func NewHistogram(bounds ...uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation. Nil-safe.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Bucket is one histogram bucket: observations ≤ UpperBound (the overflow
+// bucket has UpperBound 0 and Overflow true).
+type Bucket struct {
+	UpperBound uint64
+	Overflow   bool
+	Count      uint64
+}
+
+// Buckets returns a snapshot of the bucket counts.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]Bucket, 0, len(h.bounds)+1)
+	for i, b := range h.bounds {
+		out = append(out, Bucket{UpperBound: b, Count: h.counts[i].Load()})
+	}
+	out = append(out, Bucket{Overflow: true, Count: h.counts[len(h.bounds)].Load()})
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Registry is a named collection of metrics. Components register metrics
+// once at construction; exporters enumerate them at scrape time. Lookups
+// and registrations are concurrency-safe; the returned metric objects are
+// themselves atomic, so hot paths touch no locks.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls ignore the bounds).
+func (r *Registry) Histogram(name string, bounds ...uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Each calls fn for every counter and gauge in name order (histograms are
+// exported by their owners, which know how to render buckets).
+func (r *Registry) Each(fn func(name string, value float64)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	counters := r.counters
+	gauges := r.gauges
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		if c, ok := counters[n]; ok {
+			fn(n, float64(c.Value()))
+		} else {
+			fn(n, gauges[n].Value())
+		}
+	}
+}

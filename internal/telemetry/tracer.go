@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EventKind is a prefetch lifecycle transition.
+type EventKind uint8
+
+// Lifecycle transitions. A prefetched block's life is
+// issue→fill→(first-use | evict); drops never enter the cache.
+const (
+	// EvFill is an issued prefetch filling a cache level: Issue is the issue
+	// cycle, At the fill-completion cycle.
+	EvFill EventKind = iota + 1
+	// EvUse is the first demand hit on a prefetched line (Late marks hits
+	// that merged with the still-in-flight fill).
+	EvUse
+	// EvEvict is a prefetched line evicted without ever being demanded.
+	EvEvict
+	// EvDrop is a prefetch dropped at the MSHR demand reserve.
+	EvDrop
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvFill:
+		return "fill"
+	case EvUse:
+		return "use"
+	case EvEvict:
+		return "evict"
+	case EvDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one prefetch lifecycle record with the page-size and
+// boundary-crossing attribution the paper's analysis turns on.
+type Event struct {
+	Kind  EventKind `json:"-"`
+	Level string    `json:"level"` // cache name ("L2", "LLC", ...)
+	Block uint64    `json:"block"`
+	PC    uint64    `json:"pc,omitempty"`
+	// Issue is the prefetch issue cycle (fill events); At the cycle of the
+	// event itself (fill completion, use, or evict).
+	Issue int64 `json:"issue,omitempty"`
+	At    int64 `json:"at"`
+	// PageSize is the residing page's size as propagated by PPM ("4KB",
+	// "2MB", "1GB"); CrossedPage marks prefetches whose target lies outside
+	// the trigger's 4KB page — the accesses page-size awareness unlocks.
+	PageSize    string `json:"page_size,omitempty"`
+	CrossedPage bool   `json:"crossed_4k,omitempty"`
+	Late        bool   `json:"late,omitempty"`
+	PrefID      uint8  `json:"pref_id,omitempty"`
+	Core        uint8  `json:"core"`
+}
+
+// jsonEvent adds the kind as a string for the JSONL export.
+type jsonEvent struct {
+	Kind string `json:"kind"`
+	Event
+}
+
+// record is an Event packed pointer-free for the ring: the Level and
+// PageSize strings are interned into small per-tracer tables and stored as
+// indices, so the preallocated ring contains no heap pointers — the GC never
+// scans it and allocating it is a plain memclr.
+type record struct {
+	kind     EventKind
+	level    uint8 // index into Tracer.levels
+	pageSize uint8 // 1+index into Tracer.pageSizes; 0 = unknown
+	flags    uint8
+	prefID   uint8
+	core     uint8
+	block    uint64
+	pc       uint64
+	issue    int64
+	at       int64
+}
+
+const (
+	flagCrossed = 1 << iota
+	flagLate
+)
+
+// Tracer records lifecycle events into a preallocated ring: recording is a
+// bounds check and a pointer-free struct store, no allocation, so tracing
+// large runs keeps the newest Cap events instead of growing without bound.
+// A nil Tracer drops events for free, which is the telemetry-off fast path.
+//
+// Tracer is not safe for concurrent Record calls; each simulation owns its
+// tracer and exports after the run.
+type Tracer struct {
+	records []record
+	head    int    // next write position
+	total   uint64 // lifetime records
+
+	levels    []string // interned Event.Level values
+	pageSizes []string // interned Event.PageSize values
+}
+
+// DefaultTraceCap is the default event-ring capacity (~3MB of records).
+const DefaultTraceCap = 1 << 16
+
+// NewTracer creates a tracer keeping the newest capacity events
+// (DefaultTraceCap if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{records: make([]record, 0, capacity)}
+}
+
+// intern returns s's index in table, appending on first sight. Tables hold
+// a handful of distinct values (cache names, page sizes); the linear scan's
+// first comparison is almost always an identical string header from the
+// same call site. Index 255 absorbs any further values once a table is
+// full, which cannot happen with the simulator's fixed name sets.
+func intern(table *[]string, s string) uint8 {
+	for i, v := range *table {
+		if v == s {
+			return uint8(i)
+		}
+	}
+	if len(*table) >= 255 {
+		return 255
+	}
+	*table = append(*table, s)
+	return uint8(len(*table) - 1)
+}
+
+// Record appends an event, overwriting the oldest once the ring is full.
+// Nil-safe: a nil tracer drops the event.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.total++
+	r := record{
+		kind:   e.Kind,
+		level:  intern(&t.levels, e.Level),
+		prefID: e.PrefID,
+		core:   e.Core,
+		block:  e.Block,
+		pc:     e.PC,
+		issue:  e.Issue,
+		at:     e.At,
+	}
+	if e.PageSize != "" {
+		r.pageSize = intern(&t.pageSizes, e.PageSize) + 1
+	}
+	if e.CrossedPage {
+		r.flags |= flagCrossed
+	}
+	if e.Late {
+		r.flags |= flagLate
+	}
+	if len(t.records) < cap(t.records) {
+		t.records = append(t.records, r)
+		return
+	}
+	t.records[t.head] = r
+	t.head = (t.head + 1) % len(t.records)
+}
+
+// Total returns the lifetime number of records (including overwritten
+// ones). Nil-safe.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - uint64(len(t.records))
+}
+
+// unpack reconstructs the exported event form of a ring record.
+func (t *Tracer) unpack(r record) Event {
+	e := Event{
+		Kind:        r.kind,
+		Level:       t.levels[r.level],
+		Block:       r.block,
+		PC:          r.pc,
+		Issue:       r.issue,
+		At:          r.at,
+		CrossedPage: r.flags&flagCrossed != 0,
+		Late:        r.flags&flagLate != 0,
+		PrefID:      r.prefID,
+		Core:        r.core,
+	}
+	if r.pageSize > 0 {
+		e.PageSize = t.pageSizes[r.pageSize-1]
+	}
+	return e
+}
+
+// Events returns the retained events oldest-first. Nil-safe.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.records))
+	for _, r := range t.records[t.head:] {
+		out = append(out, t.unpack(r))
+	}
+	for _, r := range t.records[:t.head] {
+		out = append(out, t.unpack(r))
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(jsonEvent{Kind: e.Kind.String(), Event: e}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one trace_event record; see the Chrome Trace Event Format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   string         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events in Chrome trace_event JSON
+// (the array form chrome://tracing and Perfetto load directly). Fill events
+// become complete ("X") slices spanning issue→fill; uses, evicts, and drops
+// become instant ("i") events. Timestamps are simulated cycles presented as
+// microseconds, emitted in non-decreasing order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{
+			PID: int(e.Core),
+			TID: e.Level,
+			Args: map[string]any{
+				"block":     fmt.Sprintf("%#x", e.Block),
+				"page_size": e.PageSize,
+			},
+		}
+		if e.CrossedPage {
+			ce.Args["crossed_4k"] = true
+		}
+		switch e.Kind {
+		case EvFill:
+			ce.Name = "prefetch"
+			ce.Phase = "X"
+			ce.TS = e.Issue
+			ce.Dur = e.At - e.Issue
+		default:
+			ce.Name = e.Kind.String()
+			ce.Phase = "i"
+			ce.TS = e.At
+			ce.Scope = "t"
+			if e.Kind == EvUse && e.Late {
+				ce.Name = "use (late)"
+			}
+		}
+		out = append(out, ce)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -102,6 +102,9 @@ type MMU struct {
 
 	Walks    uint64
 	WalkRefs uint64
+	// WalksBy breaks Walks down by the resolved page's size, indexed by
+	// mem.PageSize (telemetry: walk traffic by page size).
+	WalksBy [mem.NumPageSizes]uint64
 	// TLBPrefetches counts background translations installed by the TLB
 	// prefetcher; TLBPrefetchHits counts L2 TLB hits on them (approximated
 	// by hits following an install).
@@ -145,6 +148,7 @@ func (m *MMU) Translate(v mem.Addr, at mem.Cycle) (Translation, mem.Cycle) {
 	}
 	walk, tr := m.space.WalkFor(v)
 	m.Walks++
+	m.WalksBy[tr.Size]++
 	done := at + m.cfg.L2Latency // the L2 TLB miss is discovered first
 	for i, ref := range walk.Refs {
 		last := i == len(walk.Refs)-1
@@ -221,13 +225,13 @@ func (m *MMU) prefetchTranslation(v mem.Addr, at mem.Cycle) {
 // used by the IPCP++ variant, which crosses 4KB boundaries only when the
 // target page's translation is TLB-resident.
 func (m *MMU) Resident(v mem.Addr) bool {
-	h1, mi1 := m.l1.Hits, m.l1.Misses
-	h2, mi2 := m.l2.Hits, m.l2.Misses
+	h1, mi1, by1 := m.l1.Hits, m.l1.Misses, m.l1.HitsBy
+	h2, mi2, by2 := m.l2.Hits, m.l2.Misses, m.l2.HitsBy
 	_, ok := m.l1.Lookup(v)
 	if !ok {
 		_, ok = m.l2.Lookup(v)
 	}
-	m.l1.Hits, m.l1.Misses = h1, mi1
-	m.l2.Hits, m.l2.Misses = h2, mi2
+	m.l1.Hits, m.l1.Misses, m.l1.HitsBy = h1, mi1, by1
+	m.l2.Hits, m.l2.Misses, m.l2.HitsBy = h2, mi2, by2
 	return ok
 }

@@ -23,6 +23,9 @@ type TLB struct {
 	tick       uint64
 
 	Hits, Misses uint64
+	// HitsBy breaks Hits down by the hitting entry's page size, indexed by
+	// mem.PageSize (telemetry: TLB reach gained from large pages).
+	HitsBy [mem.NumPageSizes]uint64
 }
 
 // NewTLB creates a TLB with the given geometry. entries must be divisible by
@@ -57,6 +60,7 @@ func (t *TLB) Lookup(v mem.Addr) (Translation, bool) {
 			if e.valid && e.size == size && e.vpn == vpn {
 				e.lru = t.tick
 				t.Hits++
+				t.HitsBy[size]++
 				off := v & (size.Bytes() - 1)
 				return Translation{PAddr: e.frame + off, Size: size}, true
 			}
