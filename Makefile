@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-seeds golden-update staticcheck e2e serve check
+.PHONY: build test race vet fuzz-seeds golden-update staticcheck e2e serve check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,23 @@ vet:
 	$(GO) vet ./...
 
 # fuzz-seeds replays every checked-in fuzz seed corpus as plain tests (no
-# fuzzing engine), catching trace-format regressions deterministically.
+# fuzzing engine) under the race detector, catching trace-format and
+# submit-decoder regressions deterministically.
 fuzz-seeds:
-	$(GO) test -run=Fuzz ./internal/trace/
+	$(GO) test -race -run=Fuzz ./internal/trace/ ./internal/service/
+
+# bench runs the pinned workload×prefetcher microbenchmark suite and writes
+# BENCH_<date>.json (see cmd/pbench -h for comparing against a baseline).
+bench:
+	$(GO) run ./cmd/pbench
+
+# bench-smoke is the CI regression gate: a shortened run compared against the
+# committed smoke-format reference, failing when allocations per access
+# regress past 2x. Throughput is reported but not gated (CI machines vary too
+# much); alloc counts are deterministic enough to gate.
+bench-smoke:
+	$(GO) run ./cmd/pbench -smoke -out BENCH_smoke.json \
+		-compare BENCH_2026-08-06_smoke.json -max-allocs-ratio 2
 
 # golden-update regenerates the checked-in figure snapshots after an
 # intentional figure change. Inspect the diff before committing.

@@ -1,0 +1,301 @@
+// Command pbench is the simulator's performance-regression harness: it runs a
+// pinned set of workload×prefetcher microbenchmarks through testing.Benchmark
+// and reports, per benchmark and as geomeans, the three numbers that define
+// the hot path's health:
+//
+//	accesses/s   — simulated L1D accesses per wall-clock second (throughput)
+//	ns/access    — wall-clock nanoseconds per simulated access (latency)
+//	allocs/access — heap allocations per simulated access (steady-state GC load)
+//
+// Results are written as BENCH_<date>.json so every PR leaves a comparable
+// trajectory point. With -compare the run is diffed against a previous file
+// and -max-allocs-ratio turns the diff into a CI gate: an allocs/access
+// geomean regression beyond the ratio exits non-zero.
+//
+// Usage:
+//
+//	pbench                          # full pinned set, writes BENCH_<date>.json
+//	pbench -smoke                   # reduced set + short windows (CI)
+//	pbench -compare BENCH_old.json -max-allocs-ratio 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// pin is one pinned microbenchmark: a workload and a prefetching spec.
+type pin struct {
+	Workload string
+	Spec     sim.PrefSpec
+	// Smoke marks the subset that runs under -smoke (CI's quick gate).
+	Smoke bool
+}
+
+// pins is the pinned microbenchmark set: one representative per behaviour
+// class (sequential streamer, page-crossing strides, pointer chase, 4KB-heavy
+// gather, graph) crossed with the four paper prefetchers and the baseline
+// machine, so a regression in any hot subsystem (cache, TLB/walks, engine,
+// each prefetcher's tables) moves at least one row.
+var pins = []pin{
+	{Workload: "libquantum", Spec: sim.PrefSpec{Base: "none"}, Smoke: true},
+	{Workload: "libquantum", Spec: sim.PrefSpec{Base: "spp", Variant: core.PSASD}, Smoke: true},
+	{Workload: "milc", Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA2MB}},
+	{Workload: "mcf", Spec: sim.PrefSpec{Base: "ppf", Variant: core.PSA}, Smoke: true},
+	{Workload: "soplex", Spec: sim.PrefSpec{Base: "vldp", Variant: core.Original}},
+	{Workload: "pr.road", Spec: sim.PrefSpec{Base: "bop", Variant: core.PSA}},
+	{Workload: "bwaves", Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA, L1: sim.L1IPCPPP}},
+}
+
+// Bench is one benchmark's measurements.
+type Bench struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	Spec     string `json:"spec"`
+
+	Iters        int    `json:"iters"`
+	Instructions uint64 `json:"instructions"` // retired per iteration
+	Accesses     uint64 `json:"accesses"`     // L1D accesses per iteration
+
+	NsPerAccess     float64 `json:"ns_per_access"`
+	AccessesPerSec  float64 `json:"accesses_per_sec"`
+	AllocsPerAccess float64 `json:"allocs_per_access"`
+	BytesPerAccess  float64 `json:"bytes_per_access"`
+}
+
+// Report is the BENCH_<date>.json schema.
+type Report struct {
+	Schema int    `json:"schema"`
+	Date   string `json:"date"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Smoke  bool   `json:"smoke,omitempty"`
+
+	Warmup       uint64 `json:"warmup"`
+	Instructions uint64 `json:"instructions"`
+
+	Benchmarks []Bench `json:"benchmarks"`
+
+	// Geomeans across the set: the headline trajectory numbers.
+	GeomeanAccessesPerSec  float64 `json:"geomean_accesses_per_sec"`
+	GeomeanNsPerAccess     float64 `json:"geomean_ns_per_access"`
+	GeomeanAllocsPerAccess float64 `json:"geomean_allocs_per_access"`
+
+	// Baseline holds the comparison against a previous report (-compare).
+	Baseline *BaselineDiff `json:"baseline,omitempty"`
+}
+
+// BaselineDiff summarises this run against a previous report.
+type BaselineDiff struct {
+	File string `json:"file"`
+	Date string `json:"date"`
+	// SpeedupAccessesPerSec is new/old geomean accesses/s over the
+	// benchmarks present in both reports (>1 is faster).
+	SpeedupAccessesPerSec float64 `json:"speedup_accesses_per_sec"`
+	// AllocsRatio is new/old geomean allocs/access (<1 is fewer).
+	AllocsRatio float64 `json:"allocs_ratio"`
+	Compared    int     `json:"compared"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		smoke     = flag.Bool("smoke", false, "reduced set and short windows (CI gate)")
+		compare   = flag.String("compare", "", "previous BENCH_*.json to diff against")
+		maxAllocs = flag.Float64("max-allocs-ratio", 0, "fail when allocs/access geomean exceeds this ratio of -compare (0 disables)")
+		benchtime = flag.Duration("benchtime", time.Second, "minimum measurement time per benchmark")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Schema: 1,
+		Date:   time.Now().Format("2006-01-02"),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Smoke:  *smoke,
+	}
+	rep.Warmup, rep.Instructions = 50_000, 250_000
+	if *smoke {
+		rep.Warmup, rep.Instructions = 20_000, 80_000
+	}
+	opt := sim.RunOpt{Warmup: rep.Warmup, Instructions: rep.Instructions, Seed: 1, Samples: 1}
+	cfg := sim.DefaultConfig()
+
+	for _, p := range pins {
+		if *smoke && !p.Smoke {
+			continue
+		}
+		w, err := trace.ByName(p.Workload)
+		if err != nil {
+			fatalf("unknown pinned workload %q: %v", p.Workload, err)
+		}
+		name := p.Workload + "/" + p.Spec.String()
+		fmt.Fprintf(os.Stderr, "%-32s ", name)
+
+		// One deterministic run yields the per-iteration access count the
+		// wall-clock and allocation totals are normalised by.
+		ref, err := sim.Run(cfg, p.Spec, w, opt)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		accesses := ref.L1D.Hits + ref.L1D.Misses
+		if accesses == 0 {
+			fatalf("%s: zero L1D accesses", name)
+		}
+
+		r := benchmark(func() {
+			if _, err := sim.Run(cfg, p.Spec, w, opt); err != nil {
+				fatalf("%s: %v", name, err)
+			}
+		}, *benchtime)
+
+		perIter := float64(r.T.Nanoseconds()) / float64(r.N)
+		b := Bench{
+			Name:         name,
+			Workload:     p.Workload,
+			Spec:         p.Spec.String(),
+			Iters:        r.N,
+			Instructions: ref.Instructions,
+			Accesses:     accesses,
+
+			NsPerAccess:     perIter / float64(accesses),
+			AccessesPerSec:  float64(accesses) / (perIter / 1e9),
+			AllocsPerAccess: float64(r.AllocsPerOp()) / float64(accesses),
+			BytesPerAccess:  float64(r.AllocedBytesPerOp()) / float64(accesses),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		fmt.Fprintf(os.Stderr, "%10.2f Macc/s  %6.2f ns/acc  %8.4f allocs/acc\n",
+			b.AccessesPerSec/1e6, b.NsPerAccess, b.AllocsPerAccess)
+	}
+
+	rep.GeomeanAccessesPerSec = geomean(rep.Benchmarks, func(b Bench) float64 { return b.AccessesPerSec })
+	rep.GeomeanNsPerAccess = geomean(rep.Benchmarks, func(b Bench) float64 { return b.NsPerAccess })
+	rep.GeomeanAllocsPerAccess = geomean(rep.Benchmarks, func(b Bench) float64 { return b.AllocsPerAccess })
+	fmt.Fprintf(os.Stderr, "%-32s %10.2f Macc/s  %6.2f ns/acc  %8.4f allocs/acc\n",
+		"geomean", rep.GeomeanAccessesPerSec/1e6, rep.GeomeanNsPerAccess, rep.GeomeanAllocsPerAccess)
+
+	gate := 0
+	if *compare != "" {
+		diff, err := diffBaseline(*compare, &rep)
+		if err != nil {
+			fatalf("compare: %v", err)
+		}
+		rep.Baseline = diff
+		fmt.Fprintf(os.Stderr, "vs %s (%s, %d benchmarks): %.2fx accesses/s, %.2fx allocs/access\n",
+			diff.File, diff.Date, diff.Compared, diff.SpeedupAccessesPerSec, diff.AllocsRatio)
+		if *maxAllocs > 0 && diff.AllocsRatio > *maxAllocs {
+			fmt.Fprintf(os.Stderr, "FAIL: allocs/access regressed %.2fx (limit %.2fx)\n",
+				diff.AllocsRatio, *maxAllocs)
+			gate = 2
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	os.Exit(gate)
+}
+
+// benchmark measures fn with testing.Benchmark, re-running with a longer
+// minimum when the default 1s budget yielded a single iteration (tiny-N
+// results are noisy and their alloc counts dominated by warm-up).
+func benchmark(fn func(), minTime time.Duration) testing.BenchmarkResult {
+	run := func() testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+	}
+	r := run()
+	for r.N < 3 && r.T < 4*minTime {
+		extra := run()
+		if extra.N > r.N {
+			r = extra
+		}
+		if extra.N >= 3 {
+			break
+		}
+	}
+	return r
+}
+
+func geomean(bs []Bench, f func(Bench) float64) float64 {
+	if len(bs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range bs {
+		v := f(b)
+		if v <= 0 {
+			// allocs/access can legitimately reach 0 after pooling; floor it
+			// so the geomean stays defined (and tiny) rather than collapsing.
+			v = 1e-6
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(bs)))
+}
+
+// diffBaseline loads a previous report and compares geomeans over the
+// benchmark names present in both.
+func diffBaseline(path string, cur *Report) (*BaselineDiff, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	oldBy := make(map[string]Bench, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var curShared, oldShared []Bench
+	for _, b := range cur.Benchmarks {
+		if ob, ok := oldBy[b.Name]; ok {
+			curShared = append(curShared, b)
+			oldShared = append(oldShared, ob)
+		}
+	}
+	if len(curShared) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in common", path)
+	}
+	acc := func(b Bench) float64 { return b.AccessesPerSec }
+	alc := func(b Bench) float64 { return b.AllocsPerAccess }
+	return &BaselineDiff{
+		File:                  path,
+		Date:                  old.Date,
+		SpeedupAccessesPerSec: geomean(curShared, acc) / geomean(oldShared, acc),
+		AllocsRatio:           geomean(curShared, alc) / geomean(oldShared, alc),
+		Compared:              len(curShared),
+	}, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pbench: "+format+"\n", args...)
+	os.Exit(1)
+}

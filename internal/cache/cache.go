@@ -269,7 +269,21 @@ func (t *tee) OnPrefetchLifecycle(cache string, ev LifecycleEvent) {
 type Cache struct {
 	cfg   Config
 	lines []line // sets × ways
-	tick  uint64
+	// tags mirrors lines[i].block for valid ways (tagInvalid otherwise) in a
+	// dense parallel array: the lookup scan touches 8 contiguous bytes per
+	// way instead of a whole line struct, which is most of what find costs on
+	// miss-heavy workloads.
+	tags []mem.Addr
+	tick uint64
+
+	// setMask is Sets-1 when Sets is a power of two, replacing the modulo in
+	// SetIndex with a mask on the hot path; zero selects the generic path
+	// (the shared LLC's sets scale with core count and may not stay pow2).
+	setMask mem.Addr
+
+	// wbPool supplies the scratch request for dirty-victim writebacks: the
+	// downstream Access completes synchronously and never retains the request.
+	wbPool mem.RequestPool
 
 	// mshrFree holds the next-free cycle of each MSHR entry. A request that
 	// finds every entry busy stalls until the earliest one frees — this is
@@ -296,14 +310,26 @@ func New(cfg Config, next mem.Port) *Cache {
 	if cfg.MSHREntries <= 0 {
 		panic(fmt.Sprintf("cache %s: MSHR entries must be positive", cfg.Name))
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		lines:    make([]line, cfg.Sets*cfg.Ways),
+		tags:     make([]mem.Addr, cfg.Sets*cfg.Ways),
 		mshrFree: make([]mem.Cycle, cfg.MSHREntries),
 		next:     next,
 		rng:      uint64(len(cfg.Name))*0x9e3779b97f4a7c15 + 1,
 	}
+	for i := range c.tags {
+		c.tags[i] = tagInvalid
+	}
+	if cfg.Sets&(cfg.Sets-1) == 0 {
+		c.setMask = mem.Addr(cfg.Sets - 1)
+	}
+	return c
 }
+
+// tagInvalid marks an empty way in the tag array; it is never block-aligned,
+// so it cannot collide with a real block address.
+const tagInvalid = ^mem.Addr(0)
 
 // SetObserver attaches the access/feedback observer. If the observer also
 // implements LifecycleObserver it additionally receives prefetch lifecycle
@@ -344,6 +370,9 @@ func (c *Cache) Sets() int { return c.cfg.Sets }
 
 // SetIndex returns the set index for an address.
 func (c *Cache) SetIndex(a mem.Addr) int {
+	if c.setMask != 0 {
+		return int(mem.BlockNumber(a) & c.setMask)
+	}
 	return int(mem.BlockNumber(a)) % c.cfg.Sets
 }
 
@@ -352,10 +381,17 @@ func (c *Cache) setLines(set int) []line {
 }
 
 func (c *Cache) find(block mem.Addr) *line {
-	set := c.setLines(c.SetIndex(block))
-	for i := range set {
-		if set[i].valid && set[i].block == block {
-			return &set[i]
+	return c.findAt(c.SetIndex(block), block)
+}
+
+// findAt is find with the set index already computed: the access path derives
+// it once per request and reuses it for the lookup, the observer callback, and
+// the fill.
+func (c *Cache) findAt(si int, block mem.Addr) *line {
+	base := si * c.cfg.Ways
+	for i, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == block {
+			return &c.lines[base+i]
 		}
 	}
 	return nil
@@ -390,12 +426,15 @@ func (c *Cache) allocMSHR(at mem.Cycle) (idx int, start mem.Cycle) {
 	return best, c.mshrFree[best]
 }
 
-// victim picks the replacement victim in a set: an invalid way if any,
-// otherwise per the configured policy.
-func (c *Cache) victim(set []line) *line {
-	for i := range set {
-		if !set[i].valid {
-			return &set[i]
+// victim picks the replacement victim way in a set: an invalid way if any,
+// otherwise per the configured policy. si is the set's index; the invalid-way
+// scan reads the dense tag mirror (tagInvalid ⇔ !valid) instead of the line
+// structs.
+func (c *Cache) victim(si int, set []line) int {
+	base := si * c.cfg.Ways
+	for i, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == tagInvalid {
+			return i
 		}
 	}
 	switch c.cfg.Replacement {
@@ -404,7 +443,7 @@ func (c *Cache) victim(set []line) *line {
 		for {
 			for i := range set {
 				if set[i].rrpv >= 3 {
-					return &set[i]
+					return i
 				}
 			}
 			for i := range set {
@@ -413,12 +452,12 @@ func (c *Cache) victim(set []line) *line {
 		}
 	case ReplRandom:
 		c.rng = c.rng*6364136223846793005 + 1442695040888963407
-		return &set[int(c.rng>>33)%len(set)]
+		return int(c.rng>>33) % len(set)
 	default:
-		v := &set[0]
+		v := 0
 		for i := range set {
-			if set[i].lru < v.lru {
-				v = &set[i]
+			if set[i].lru < set[v].lru {
+				v = i
 			}
 		}
 		return v
@@ -437,9 +476,10 @@ func (c *Cache) touch(l *line) {
 // triggering access's present time `now`, not at the future fill time:
 // requests are processed in program order, and future-stamped traffic would
 // poison the monotonic next-free state of shared downstream resources.
-func (c *Cache) fill(block mem.Addr, readyAt, now mem.Cycle, req *mem.Request) {
-	set := c.setLines(c.SetIndex(block))
-	v := c.victim(set)
+func (c *Cache) fill(si int, block mem.Addr, readyAt, now mem.Cycle, req *mem.Request) {
+	set := c.setLines(si)
+	vi := c.victim(si, set)
+	v := &set[vi]
 	if v.valid {
 		if v.prefetched {
 			c.Stats.PrefetchUnused++
@@ -456,12 +496,14 @@ func (c *Cache) fill(block mem.Addr, readyAt, now mem.Cycle, req *mem.Request) {
 		if v.dirty {
 			c.Stats.Writebacks++
 			if c.next != nil {
-				wb := &mem.Request{PAddr: v.block, Type: mem.Writeback, Core: req.Core}
+				wb := c.wbPool.Get()
+				wb.PAddr, wb.Type, wb.Core = v.block, mem.Writeback, req.Core
 				c.next.Access(wb, now) // occupies downstream bandwidth
 			}
 		}
 	}
 	c.tick++
+	c.tags[si*c.cfg.Ways+vi] = block
 	*v = line{
 		block:      block,
 		valid:      true,
@@ -511,7 +553,8 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 	}
 
 	lookupDone := at + c.cfg.Latency
-	if l := c.find(block); l != nil {
+	si := c.SetIndex(block)
+	if l := c.findAt(si, block); l != nil {
 		done := lookupDone
 		merged := l.readyAt > at // fill still in flight: MSHR merge semantics
 		if merged && l.readyAt > done {
@@ -563,7 +606,7 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 			}
 		}
 		if c.observer != nil {
-			c.observer.OnAccess(AccessInfo{Req: req, Hit: true, At: at, Done: done, Set: c.SetIndex(block)})
+			c.observer.OnAccess(AccessInfo{Req: req, Hit: true, At: at, Done: done, Set: si})
 		}
 		return done
 	}
@@ -572,15 +615,25 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 	// request below, and fill on return. Prefetches never stall demands: a
 	// quarter of the MSHR entries is reserved for demand misses, and a
 	// prefetch that cannot allocate outside the reserve is dropped, so a
-	// lookahead burst cannot head-block the demand stream.
+	// lookahead burst cannot head-block the demand stream. The prefetch path
+	// folds the reserve count and the allocation into one scan of the pool.
+	var idx int
+	start := lookupDone
 	if req.Type == mem.Prefetch {
-		free := 0
-		for _, f := range c.mshrFree {
+		free, firstFree := 0, -1
+		reserve := c.cfg.MSHREntries / 4
+		for i, f := range c.mshrFree {
 			if f <= lookupDone {
 				free++
+				if firstFree < 0 {
+					firstFree = i
+				}
+				if free > reserve {
+					break // enough free entries proven; exact count not needed
+				}
 			}
 		}
-		if free <= c.cfg.MSHREntries/4 {
+		if free <= reserve {
 			c.Stats.PrefetchDropped++
 			if c.life != nil {
 				c.life.OnPrefetchLifecycle(c.cfg.Name, LifecycleEvent{
@@ -590,8 +643,10 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 			}
 			return lookupDone
 		}
+		idx = firstFree // free > 0 here: the reserve is at least one entry
+	} else {
+		idx, start = c.allocMSHR(lookupDone)
 	}
-	idx, start := c.allocMSHR(lookupDone)
 	c.Stats.Misses++
 	if demand {
 		c.Stats.DemandMisses++
@@ -605,7 +660,7 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 	}
 	c.mshrFree[idx] = done
 	if fillHere {
-		c.fill(block, done, start, req)
+		c.fill(si, block, done, start, req)
 	}
 	if demand {
 		c.Stats.DemandLatencySum += uint64(done - at)
@@ -621,7 +676,7 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 		})
 	}
 	if req.Type != mem.Prefetch && c.observer != nil {
-		c.observer.OnAccess(AccessInfo{Req: req, Hit: false, At: at, Done: done, Set: c.SetIndex(block)})
+		c.observer.OnAccess(AccessInfo{Req: req, Hit: false, At: at, Done: done, Set: si})
 	}
 	return done
 }

@@ -194,6 +194,19 @@ type Engine struct {
 	// first use for ablation studies.
 	PQDepth mem.Cycle
 
+	// pfPool supplies the scratch request for issued prefetches: each
+	// candidate's Access completes synchronously before the next candidate is
+	// considered, so one entry suffices.
+	pfPool mem.RequestPool
+	// issueFn is the persistent candidate sink handed to Prefetcher.Operate;
+	// the per-call trigger state lives in opCtx/opSize/opID. operate is not
+	// reentrant (prefetch requests never fire OnAccess), so one set of fields
+	// suffices and the hot path allocates no closure.
+	issueFn func(prefetch.Candidate)
+	opCtx   prefetch.Context
+	opSize  mem.PageSize
+	opID    uint8
+
 	Stats Stats
 }
 
@@ -213,6 +226,7 @@ func New(factory prefetch.Factory, v Variant, l2, llc *cache.Cache, oracle Oracl
 		csel:    1<<(CselBits-1) - 1, // start just below the MSB: followers begin on the safer Pref-PSA
 		PQDepth: DefaultPQDepth,
 	}
+	e.issueFn = e.issueCandidate
 	switch v {
 	case Original, PSA, PSAMagic, ISOStorage:
 		e.pA = factory(mem.PageBits4K)
@@ -366,57 +380,64 @@ func (e *Engine) selectFor(set int) uint8 {
 // operate runs one prefetcher and funnels its candidates through the
 // boundary policy into the caches.
 func (e *Engine) operate(p prefetch.Prefetcher, id uint8, ctx prefetch.Context, size mem.PageSize) {
-	trigger := ctx.Addr
-	p.Operate(ctx, func(c prefetch.Candidate) {
-		e.Stats.Proposed++
-		if !mem.SamePage(trigger, c.Addr, size) {
-			// The candidate crosses the enforced boundary: discard. If the
-			// block actually resides in a 2MB page and the candidate stays
-			// inside it, page-size awareness would have saved this prefetch.
-			e.Stats.DiscardedBoundary++
-			if e.oracle != nil && size == mem.Page4K {
-				if real := e.oracle(trigger); real != mem.Page4K && mem.SamePage(trigger, c.Addr, real) {
-					e.Stats.DiscardedSafe++
-				}
+	e.opCtx, e.opSize, e.opID = ctx, size, id
+	p.Operate(ctx, e.issueFn)
+}
+
+// issueCandidate vets one proposed candidate against the boundary policy and
+// issues survivors into the caches. It is the body of the candidate sink
+// operate hands to the prefetcher; the trigger context rides in opCtx/opSize/
+// opID so no closure is allocated per access.
+func (e *Engine) issueCandidate(c prefetch.Candidate) {
+	trigger := e.opCtx.Addr
+	size := e.opSize
+	e.Stats.Proposed++
+	if !mem.SamePage(trigger, c.Addr, size) {
+		// The candidate crosses the enforced boundary: discard. If the
+		// block actually resides in a 2MB page and the candidate stays
+		// inside it, page-size awareness would have saved this prefetch.
+		e.Stats.DiscardedBoundary++
+		if e.oracle != nil && size == mem.Page4K {
+			if real := e.oracle(trigger); real != mem.Page4K && mem.SamePage(trigger, c.Addr, real) {
+				e.Stats.DiscardedSafe++
 			}
-			return
 		}
-		// Candidates already present (or in flight) at the target level are
-		// dropped before consuming a prefetch-queue slot.
-		if e.l2.Contains(c.Addr) || (!c.FillL2 && e.llc.Contains(c.Addr)) {
-			return
-		}
-		e.Stats.Issued++
-		crossed := !mem.SamePage(trigger, c.Addr, mem.Page4K)
-		if crossed {
-			e.Stats.CrossedPage4K++
-		}
-		req := &mem.Request{
-			PAddr:         c.Addr,
-			PC:            ctx.PC,
-			Type:          mem.Prefetch,
-			Core:          e.core,
-			PageSize:      size,
-			PageSizeKnown: true,
-			FillL2:        c.FillL2,
-			PrefID:        id,
-			CrossedPage:   crossed,
-		}
-		at := ctx.At
-		if e.lastIssue >= at {
-			at = e.lastIssue + 1
-		}
-		if at-ctx.At > e.PQDepth {
-			e.Stats.QueueDropped++
-			return
-		}
-		e.lastIssue = at
-		if c.FillL2 {
-			e.l2.Access(req, at)
-		} else {
-			e.l2.AccessNoFill(req, at)
-		}
-	})
+		return
+	}
+	// Candidates already present (or in flight) at the target level are
+	// dropped before consuming a prefetch-queue slot.
+	if e.l2.Contains(c.Addr) || (!c.FillL2 && e.llc.Contains(c.Addr)) {
+		return
+	}
+	e.Stats.Issued++
+	crossed := !mem.SamePage(trigger, c.Addr, mem.Page4K)
+	if crossed {
+		e.Stats.CrossedPage4K++
+	}
+	req := e.pfPool.Get()
+	req.PAddr = c.Addr
+	req.PC = e.opCtx.PC
+	req.Type = mem.Prefetch
+	req.Core = e.core
+	req.PageSize = size
+	req.PageSizeKnown = true
+	req.FillL2 = c.FillL2
+	req.PrefID = e.opID
+	req.CrossedPage = crossed
+	at := e.opCtx.At
+	if e.lastIssue >= at {
+		at = e.lastIssue + 1
+	}
+	if at-e.opCtx.At > e.PQDepth {
+		e.Stats.QueueDropped++
+		return
+	}
+	e.lastIssue = at
+	if c.FillL2 {
+		e.l2.Access(req, at)
+	} else {
+		e.l2.AccessNoFill(req, at)
+	}
 }
 
 // OnPrefetchUseful implements cache.Observer: update Csel from the

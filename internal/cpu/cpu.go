@@ -41,10 +41,14 @@ type Core struct {
 	cfg Config
 	ms  MemSystem
 
-	// rob is a ring buffer of completion cycles.
+	// rob is a ring buffer of completion cycles. head and tail wrap by
+	// conditional reset rather than modulo (ROBSize is 352, not a power of
+	// two, and the push/retire loops are the innermost CPU path); tail always
+	// equals (head+size) mod ROBSize.
 	rob        []mem.Cycle
 	robKind    []uint8 // 0 other, 1 load, 2 store
-	head, size int
+	head, tail int
+	size       int
 
 	// ifetch is the optional front end (nil: ideal instruction delivery).
 	ifetch InstrFetcher
@@ -109,8 +113,11 @@ func New(cfg Config, ms MemSystem) *Core {
 func (c *Core) push(done mem.Cycle) { c.pushKind(done, 0) }
 
 func (c *Core) pushKind(done mem.Cycle, kind uint8) {
-	c.rob[(c.head+c.size)%c.cfg.ROBSize] = done
-	c.robKind[(c.head+c.size)%c.cfg.ROBSize] = kind
+	c.rob[c.tail] = done
+	c.robKind[c.tail] = kind
+	if c.tail++; c.tail == c.cfg.ROBSize {
+		c.tail = 0
+	}
 	c.size++
 }
 
@@ -152,7 +159,9 @@ func (c *Core) RunUntil(r trace.Reader, maxInstructions uint64, untilCycle mem.C
 			retired, fetched = c.slotRetired, c.slotFetched
 		}
 		for c.size > 0 && retired < c.cfg.Width && c.rob[c.head] <= c.Cycle {
-			c.head = (c.head + 1) % c.cfg.ROBSize
+			if c.head++; c.head == c.cfg.ROBSize {
+				c.head = 0
+			}
 			c.size--
 			retired++
 			c.Instructions++

@@ -3,9 +3,11 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -56,12 +58,49 @@ func TestRunBatchDeterminism(t *testing.T) {
 		t.Errorf("parallelism changed results:\nserial   %s\nparallel %s", sb, pb)
 	}
 
+	o.Parallelism = runtime.GOMAXPROCS(0)
+	maxprocs, err := runBatch(o, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb, mb := mustJSON(t, serial), mustJSON(t, maxprocs); !bytes.Equal(sb, mb) {
+		t.Errorf("GOMAXPROCS parallelism changed results:\nserial   %s\nmaxprocs %s", sb, mb)
+	}
+
 	again, err := runBatch(o, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a, b := mustJSON(t, parallel), mustJSON(t, again); !bytes.Equal(a, b) {
 		t.Error("two identical-seed runs diverged")
+	}
+}
+
+// TestRunBatchPoolingEquivalence: the pooled request path (the default) and
+// fresh per-access allocation must be observationally identical — the
+// zero-allocation overhaul is an optimisation, never a semantic change. A
+// divergence here means some component retained a pooled *mem.Request beyond
+// its synchronous Access call.
+func TestRunBatchPoolingEquivalence(t *testing.T) {
+	o := tinyOptions(t)
+	o.Workloads = o.Workloads[:3]
+	o.Warmup = 20_000
+	o.Instructions = 80_000
+	jobs := detJobs(t, o)
+
+	pooled, err := runBatch(o, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem.FreshRequests = true
+	defer func() { mem.FreshRequests = false }()
+	fresh, err := runBatch(o, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb, fb := mustJSON(t, pooled), mustJSON(t, fresh); !bytes.Equal(pb, fb) {
+		t.Errorf("pooled and fresh-allocation runs diverged:\npooled %s\nfresh  %s", pb, fb)
 	}
 }
 

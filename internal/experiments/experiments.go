@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -151,6 +152,15 @@ func runBatch(o Options, jobs []Job) ([]sim.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// A panicking simulation (a broken prefetcher, a corrupt trace)
+			// must fail its own job, not the whole process: the recovery
+			// converts it into this job's error, joined with the rest below.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("experiments: job %s/%s panicked: %v\n%s",
+						j.Workload.Name, j.Spec, r, debug.Stack())
+				}
+			}()
 			if errs[i] = ctx.Err(); errs[i] != nil {
 				return // canceled while queued: don't start the simulation
 			}

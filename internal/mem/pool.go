@@ -1,0 +1,31 @@
+package mem
+
+// FreshRequests, when true, makes every RequestPool.Get return a newly
+// allocated Request instead of reusing the pool's scratch entry. It exists
+// for the differential determinism tests, which run pooled against
+// fresh-allocation paths and require byte-identical results — proving reuse
+// leaks no state between requests. It is a package variable rather than a
+// sim.Config field so the content-addressed result cache (which marshals
+// Config into its keys) is unaffected.
+var FreshRequests bool
+
+// RequestPool is a single-entry scratch pool for Request values. The
+// simulator's access path is synchronous — Port.Access(req, at) returns
+// before its caller issues another request, and no component retains *Request
+// beyond the call — so every issuing site (core demand path, prefetch engine,
+// page-table walker, writeback path) can reuse one per-site scratch entry and
+// keep the steady-state hot path allocation-free.
+//
+// A pool must not be shared between sites whose requests can be live at the
+// same time (e.g. a demand access and the prefetches its observer issues).
+type RequestPool struct{ scratch Request }
+
+// Get returns a zeroed *Request for the caller to fill and pass down the
+// hierarchy. The pointer is valid until the pool's next Get.
+func (p *RequestPool) Get() *Request {
+	if FreshRequests {
+		return &Request{}
+	}
+	p.scratch = Request{}
+	return &p.scratch
+}

@@ -68,6 +68,14 @@ type Prefetcher struct {
 	w   [numFeatures][]int8
 	pft []record // issued prefetches
 	rjt []record // rejected candidates
+
+	// sink is the persistent candidate classifier Operate hands to the SPP
+	// proposer; the per-call trigger context and downstream issue function
+	// ride in opCtx/opIssue so the hot path allocates no closure. Operate is
+	// not reentrant.
+	sink    func(prefetch.Candidate, spp.Meta)
+	opCtx   prefetch.Context
+	opIssue func(prefetch.Candidate)
 }
 
 // New creates a PPF prefetcher; regionBits configures the underlying SPP's
@@ -82,6 +90,7 @@ func New(cfg Config, regionBits uint) *Prefetcher {
 	for i := range p.w {
 		p.w[i] = make([]int8, cfg.TableEntries)
 	}
+	p.sink = p.classify
 	return p
 }
 
@@ -96,6 +105,9 @@ func (p *Prefetcher) Name() string { return "ppf" }
 func hash(x uint64, entries int) int {
 	x *= 0x9e3779b97f4a7c15
 	x ^= x >> 32
+	if entries&(entries-1) == 0 {
+		return int(x) & (entries - 1) // identical to the modulo for pow2 sizes
+	}
 	return int(x % uint64(entries))
 }
 
@@ -140,21 +152,27 @@ func recIndex(block mem.Addr, entries int) int {
 
 // Operate implements prefetch.Prefetcher.
 func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate)) {
-	p.spp.OperateMeta(ctx, func(c prefetch.Candidate, m spp.Meta) {
-		idx := p.features(ctx, c.Addr, m)
-		s := p.sum(idx)
-		rec := record{block: mem.BlockAlign(c.Addr), idx: idx, valid: true}
-		switch {
-		case s >= p.cfg.ThresholdHi:
-			p.pft[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
-			issue(prefetch.Candidate{Addr: c.Addr, FillL2: true})
-		case s >= p.cfg.ThresholdLo:
-			p.pft[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
-			issue(prefetch.Candidate{Addr: c.Addr, FillL2: false})
-		default:
-			p.rjt[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
-		}
-	})
+	p.opCtx, p.opIssue = ctx, issue
+	p.spp.OperateMeta(ctx, p.sink)
+}
+
+// classify runs one SPP proposal through the perceptron and issues, demotes,
+// or rejects it. It is the body of the persistent sink; the trigger context
+// rides in opCtx/opIssue.
+func (p *Prefetcher) classify(c prefetch.Candidate, m spp.Meta) {
+	idx := p.features(p.opCtx, c.Addr, m)
+	s := p.sum(idx)
+	rec := record{block: mem.BlockAlign(c.Addr), idx: idx, valid: true}
+	switch {
+	case s >= p.cfg.ThresholdHi:
+		p.pft[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
+		p.opIssue(prefetch.Candidate{Addr: c.Addr, FillL2: true})
+	case s >= p.cfg.ThresholdLo:
+		p.pft[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
+		p.opIssue(prefetch.Candidate{Addr: c.Addr, FillL2: false})
+	default:
+		p.rjt[recIndex(c.Addr, p.cfg.RecordEntries)] = rec
+	}
 }
 
 // Train implements prefetch.Prefetcher.

@@ -86,11 +86,21 @@ type Prefetcher struct {
 	cfg        Config
 	regionBits uint
 	sigMask    uint16
+	// stMask/ptMask are STSets-1 / PTEntries-1 when the respective size is a
+	// power of two (the defaults are), replacing the hot-path modulos with
+	// masks; -1 selects the generic modulo path.
+	stMask, ptMask int
 
 	st   []stEntry
 	pt   []ptEntry
 	ghr  []ghrEntry
 	tick uint64
+
+	// metaWrap is the persistent Meta-discarding adapter Operate hands to
+	// OperateMeta; the per-call sink rides in plainIssue so the hot path
+	// allocates no closure. Operate is not reentrant.
+	metaWrap   func(prefetch.Candidate, Meta)
+	plainIssue func(prefetch.Candidate)
 
 	// Global accuracy throttle: path confidence is scaled by the observed
 	// useful/issued ratio, halved periodically to track phases.
@@ -107,13 +117,22 @@ func New(cfg Config, regionBits uint) *Prefetcher {
 		cfg:        cfg,
 		regionBits: regionBits,
 		sigMask:    uint16(1<<cfg.SigBits - 1),
+		stMask:     -1,
+		ptMask:     -1,
 		st:         make([]stEntry, cfg.STSets*cfg.STWays),
 		pt:         make([]ptEntry, cfg.PTEntries),
 		ghr:        make([]ghrEntry, cfg.GHREntries),
 	}
+	if cfg.STSets&(cfg.STSets-1) == 0 {
+		p.stMask = cfg.STSets - 1
+	}
+	if cfg.PTEntries&(cfg.PTEntries-1) == 0 {
+		p.ptMask = cfg.PTEntries - 1
+	}
 	for i := range p.pt {
 		p.pt[i].deltas = make([]deltaSlot, cfg.DeltaSlots)
 	}
+	p.metaWrap = func(c prefetch.Candidate, _ Meta) { p.plainIssue(c) }
 	return p
 }
 
@@ -150,8 +169,21 @@ func (p *Prefetcher) stSet(region mem.Addr) []stEntry {
 	// streams into the same set and thrash it.
 	h := uint64(region) * 0x9e3779b97f4a7c15
 	h ^= h >> 29
-	s := int(h % uint64(p.cfg.STSets))
+	var s int
+	if p.stMask >= 0 {
+		s = int(h) & p.stMask
+	} else {
+		s = int(h % uint64(p.cfg.STSets))
+	}
 	return p.st[s*p.cfg.STWays : (s+1)*p.cfg.STWays]
+}
+
+// ptIndex maps a signature to its Pattern Table entry.
+func (p *Prefetcher) ptIndex(sig uint16) int {
+	if p.ptMask >= 0 {
+		return int(sig) & p.ptMask
+	}
+	return int(sig) % p.cfg.PTEntries
 }
 
 func (p *Prefetcher) stLookup(region mem.Addr) *stEntry {
@@ -185,7 +217,7 @@ func (p *Prefetcher) stInsert(region mem.Addr, off int, sig uint16) *stEntry {
 
 // ptUpdate records the observed delta under the signature.
 func (p *Prefetcher) ptUpdate(sig uint16, delta int) {
-	e := &p.pt[int(sig)%p.cfg.PTEntries]
+	e := &p.pt[p.ptIndex(sig)]
 	if e.csig >= p.cfg.CounterMax {
 		// Saturated: age all counters to keep ratios adaptive.
 		e.csig >>= 1
@@ -333,7 +365,8 @@ func (p *Prefetcher) train(ctx prefetch.Context) (sig uint16, off int, ok bool) 
 
 // Operate implements prefetch.Prefetcher.
 func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate)) {
-	p.OperateMeta(ctx, func(c prefetch.Candidate, _ Meta) { issue(c) })
+	p.plainIssue = issue
+	p.OperateMeta(ctx, p.metaWrap)
 }
 
 // OperateMeta is Operate with per-candidate lookahead metadata, used by PPF.
@@ -356,7 +389,7 @@ func (p *Prefetcher) lookahead(trigger mem.Addr, sig uint16, off int, issue func
 
 	alpha := p.alpha()
 	for depth := 0; depth < p.cfg.MaxLookahead; depth++ {
-		e := &p.pt[int(sig)%p.cfg.PTEntries]
+		e := &p.pt[p.ptIndex(sig)]
 		if e.csig == 0 {
 			return
 		}

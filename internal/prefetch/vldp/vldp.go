@@ -66,6 +66,11 @@ type Prefetcher struct {
 	dpt  [][]dptEntry // one table per history length 1..HistoryLen
 	opt  []optEntry
 	tick uint64
+
+	// histBuf is Operate's scratch copy of the trigger entry's delta history
+	// (capacity HistoryLen+1, reused across calls): the prediction chain
+	// mutates its copy while dptUpdate may run against the entry's own.
+	histBuf []int
 }
 
 // New creates a VLDP prefetcher indexing pages of 2^regionBits bytes.
@@ -75,6 +80,10 @@ func New(cfg Config, regionBits uint) *Prefetcher {
 		regionBits: regionBits,
 		dhb:        make([]dhbEntry, cfg.DHBEntries),
 		opt:        make([]optEntry, cfg.OPTEntries),
+		histBuf:    make([]int, 0, cfg.HistoryLen+1),
+	}
+	for i := range p.dhb {
+		p.dhb[i].deltas = make([]int, 0, cfg.HistoryLen)
 	}
 	p.dpt = make([][]dptEntry, cfg.HistoryLen)
 	for i := range p.dpt {
@@ -133,7 +142,10 @@ func (p *Prefetcher) dhbInsert(region mem.Addr, off int) *dhbEntry {
 		}
 	}
 	p.tick++
-	*v = dhbEntry{tag: region, valid: true, lastOffset: off, lru: p.tick}
+	// Reuse the victim's delta buffer (preallocated at HistoryLen capacity)
+	// so steady-state region churn allocates nothing.
+	deltas := v.deltas[:0]
+	*v = dhbEntry{tag: region, valid: true, lastOffset: off, deltas: deltas, lru: p.tick}
 	return v
 }
 
@@ -216,9 +228,13 @@ func (p *Prefetcher) train(ctx prefetch.Context) (e *dhbEntry, newRegion bool, o
 	for level := 0; level < p.cfg.HistoryLen; level++ {
 		p.dptUpdate(level, e.deltas, delta)
 	}
-	e.deltas = append(e.deltas, delta)
-	if len(e.deltas) > p.cfg.HistoryLen {
-		e.deltas = e.deltas[1:]
+	if len(e.deltas) >= p.cfg.HistoryLen {
+		// Slide in place instead of re-slicing: e.deltas[1:] would shrink the
+		// capacity and force a reallocation on every subsequent train.
+		copy(e.deltas, e.deltas[1:])
+		e.deltas[len(e.deltas)-1] = delta
+	} else {
+		e.deltas = append(e.deltas, delta)
 	}
 	e.lastOffset = off
 	return e, false, true
@@ -247,18 +263,20 @@ func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate
 		return
 	}
 
-	// Chain DPT predictions up to Degree, simulating the history advance.
-	hist := append([]int(nil), e.deltas...)
+	// Chain DPT predictions up to Degree, simulating the history advance in
+	// the reusable scratch buffer (capacity HistoryLen+1: one append past the
+	// window before each in-place slide, so the chain never reallocates).
+	hist := append(p.histBuf[:0], e.deltas...)
 	cur := base
 	for i := 0; i < p.cfg.Degree; i++ {
 		delta, found := p.dptPredict(hist)
 		if !found {
-			return
+			break
 		}
 		cur += delta
 		cand := regionBase + mem.Addr(cur)*mem.BlockSize
 		if cur < 0 || !prefetch.InGenLimit(ctx.Addr, cand) {
-			return
+			break
 		}
 		_ = bpr
 		// Deeper chained prefetches carry less confidence: direct the first
@@ -266,7 +284,9 @@ func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate
 		issue(prefetch.Candidate{Addr: cand, FillL2: i < 2})
 		hist = append(hist, delta)
 		if len(hist) > p.cfg.HistoryLen {
-			hist = hist[1:]
+			copy(hist, hist[1:])
+			hist = hist[:len(hist)-1]
 		}
 	}
+	p.histBuf = hist[:0]
 }

@@ -4,9 +4,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 )
+
+// decodeSimRequest parses a POST /v1/sims body. Factored out of the handler
+// so the fuzz harness exercises the exact decode path the daemon runs on
+// arbitrary network input.
+func decodeSimRequest(r io.Reader) (SimRequest, error) {
+	var req SimRequest
+	if err := json.NewDecoder(r).Decode(&req); err != nil {
+		return SimRequest{}, err
+	}
+	return req, nil
+}
 
 // Handler returns the daemon's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -36,8 +48,8 @@ type apiError struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req SimRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	req, err := decodeSimRequest(r.Body)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
 		return
 	}

@@ -315,22 +315,9 @@ func (s *Server) worker() {
 
 // Submit validates and enqueues a request, returning the queued job.
 func (s *Server) submit(req SimRequest) (*jobState, error) {
-	if len(req.Jobs) == 0 {
-		return nil, fmt.Errorf("service: empty batch")
-	}
-	if len(req.Jobs) > s.cfg.MaxBatch {
-		return nil, fmt.Errorf("service: batch of %d exceeds limit %d", len(req.Jobs), s.cfg.MaxBatch)
-	}
-	if req.Opt.Instructions == 0 {
-		return nil, fmt.Errorf("service: opt.Instructions must be positive")
-	}
-	units := make([]unit, len(req.Jobs))
-	for i, spec := range req.Jobs {
-		u, err := resolve(spec)
-		if err != nil {
-			return nil, fmt.Errorf("service: job %d: %w", i, err)
-		}
-		units[i] = u
+	units, err := validateSimRequest(req, s.cfg.MaxBatch)
+	if err != nil {
+		return nil, err
 	}
 	cfg := sim.DefaultConfig()
 	if req.Config != nil {
@@ -374,6 +361,33 @@ func (s *Server) submit(req SimRequest) (*jobState, error) {
 }
 
 // resolve maps a wire spec onto the catalogue and prefetcher registry.
+// validateSimRequest checks a submit body's static invariants and resolves
+// every job spec against the workload catalogue; maxBatch bounds the batch
+// size. It is the pure half of submit — no server state — so the fuzz
+// harness can drive it with arbitrary decoded requests. Base is deliberately
+// not validated here: an unknown prefetcher fails the job at run time, which
+// keeps the submit path independent of the prefetcher registry.
+func validateSimRequest(req SimRequest, maxBatch int) ([]unit, error) {
+	if len(req.Jobs) == 0 {
+		return nil, fmt.Errorf("service: empty batch")
+	}
+	if len(req.Jobs) > maxBatch {
+		return nil, fmt.Errorf("service: batch of %d exceeds limit %d", len(req.Jobs), maxBatch)
+	}
+	if req.Opt.Instructions == 0 {
+		return nil, fmt.Errorf("service: opt.Instructions must be positive")
+	}
+	units := make([]unit, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		u, err := resolve(spec)
+		if err != nil {
+			return nil, fmt.Errorf("service: job %d: %w", i, err)
+		}
+		units[i] = u
+	}
+	return units, nil
+}
+
 func resolve(spec SimSpec) (unit, error) {
 	w, err := trace.ByName(spec.Workload)
 	if err != nil {

@@ -87,6 +87,11 @@ func RunContext(ctx context.Context, cfg Config, spec PrefSpec, w trace.Workload
 		samples = 1
 	}
 	res := Result{Workload: w.Name, Spec: spec.String()}
+	if opt.Instructions > 0 {
+		// Preallocated only when the loop will sample: a zero-length run must
+		// keep the nil slice (JSON null) it always produced.
+		res.Frac2MOverTime = make([]float64, 0, samples+1)
+	}
 	chunk := opt.Instructions / uint64(samples)
 	if chunk == 0 {
 		chunk = opt.Instructions

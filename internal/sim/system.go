@@ -28,6 +28,14 @@ type coreNode struct {
 	l1Kind  L1Pref
 	l1pf    *ipcp.Prefetcher
 	candBuf []ipcp.Candidate
+
+	// Scratch request pools for the three request-issuing sites of this core.
+	// The access path is synchronous and single-goroutine per system, and the
+	// three sites are never live at once within one pool, so each reuses one
+	// entry instead of allocating per access.
+	demandPool mem.RequestPool
+	fetchPool  mem.RequestPool
+	l1pfPool   mem.RequestPool
 }
 
 // system is a fully assembled machine.
@@ -132,18 +140,17 @@ func (n *coreNode) Access(pc, vaddr mem.Addr, write bool, at mem.Cycle) mem.Cycl
 	if write {
 		typ = mem.Store
 	}
-	req := &mem.Request{
-		PAddr: tr.PAddr,
-		VAddr: vaddr,
-		PC:    pc,
-		Type:  typ,
-		Core:  n.id,
-		// PPM: the page size from the translation metadata accompanies the
-		// request; on an L1D miss it is stored in the MSHR's extra bit and
-		// travels to the L2 prefetcher.
-		PageSize:      tr.Size,
-		PageSizeKnown: true,
-	}
+	req := n.demandPool.Get()
+	req.PAddr = tr.PAddr
+	req.VAddr = vaddr
+	req.PC = pc
+	req.Type = typ
+	req.Core = n.id
+	// PPM: the page size from the translation metadata accompanies the
+	// request; on an L1D miss it is stored in the MSHR's extra bit and
+	// travels to the L2 prefetcher.
+	req.PageSize = tr.Size
+	req.PageSizeKnown = true
 	done := n.l1d.Access(req, ready)
 	n.l1Prefetch(pc, vaddr, at, tr)
 	return done
@@ -155,15 +162,14 @@ func (n *coreNode) Access(pc, vaddr mem.Addr, write bool, at mem.Cycle) mem.Cycl
 // implementation choice for L1I misses.
 func (n *coreNode) FetchInstr(pc mem.Addr, at mem.Cycle) mem.Cycle {
 	tr := n.codeSpace.Translate(pc)
-	req := &mem.Request{
-		PAddr:         tr.PAddr,
-		VAddr:         pc,
-		PC:            pc,
-		Type:          mem.Fetch,
-		Core:          n.id,
-		PageSize:      mem.Page4K,
-		PageSizeKnown: true,
-	}
+	req := n.fetchPool.Get()
+	req.PAddr = tr.PAddr
+	req.VAddr = pc
+	req.PC = pc
+	req.Type = mem.Fetch
+	req.Core = n.id
+	req.PageSize = mem.Page4K
+	req.PageSizeKnown = true
 	return n.l1i.Access(req, at)
 }
 
@@ -209,15 +215,14 @@ func (n *coreNode) issueL1(cand, trigger mem.Addr, tr vm.Translation, at mem.Cyc
 		}
 		paddr, size = ct.PAddr, ct.Size
 	}
-	req := &mem.Request{
-		PAddr:         mem.BlockAlign(paddr),
-		VAddr:         cand,
-		PC:            pc,
-		Type:          mem.Prefetch,
-		Core:          n.id,
-		PageSize:      size,
-		PageSizeKnown: true,
-		FillL2:        true,
-	}
+	req := n.l1pfPool.Get()
+	req.PAddr = mem.BlockAlign(paddr)
+	req.VAddr = cand
+	req.PC = pc
+	req.Type = mem.Prefetch
+	req.Core = n.id
+	req.PageSize = size
+	req.PageSizeKnown = true
+	req.FillL2 = true
 	n.l1d.Access(req, at)
 }

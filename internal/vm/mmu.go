@@ -100,6 +100,10 @@ type MMU struct {
 	// as demand traffic (L1D→L2→LLC→DRAM).
 	walkPort mem.Port
 
+	// walkPool supplies the scratch request for walker references: each
+	// reference's Access completes before the next is issued.
+	walkPool mem.RequestPool
+
 	Walks    uint64
 	WalkRefs uint64
 	// WalksBy breaks Walks down by the resolved page's size, indexed by
@@ -150,8 +154,8 @@ func (m *MMU) Translate(v mem.Addr, at mem.Cycle) (Translation, mem.Cycle) {
 	m.Walks++
 	m.WalksBy[tr.Size]++
 	done := at + m.cfg.L2Latency // the L2 TLB miss is discovered first
-	for i, ref := range walk.Refs {
-		last := i == len(walk.Refs)-1
+	for i, ref := range walk.Refs[:walk.Levels] {
+		last := i == walk.Levels-1
 		// Interior levels may be served by the MMU caches; the leaf entry is
 		// always fetched from the memory hierarchy.
 		key := v >> uint(12+9*(numLevels-1-i))
@@ -163,14 +167,13 @@ func (m *MMU) Translate(v mem.Addr, at mem.Cycle) (Translation, mem.Cycle) {
 		}
 		m.WalkRefs++
 		if m.walkPort != nil {
-			req := &mem.Request{
-				PAddr: mem.BlockAlign(ref),
-				Type:  mem.PageWalk,
-				Core:  m.core,
-				// Page-table nodes live in 4KB frames.
-				PageSize:      mem.Page4K,
-				PageSizeKnown: true,
-			}
+			req := m.walkPool.Get()
+			req.PAddr = mem.BlockAlign(ref)
+			req.Type = mem.PageWalk
+			req.Core = m.core
+			// Page-table nodes live in 4KB frames.
+			req.PageSize = mem.Page4K
+			req.PageSizeKnown = true
 			done = m.walkPort.Access(req, done)
 		}
 	}
@@ -198,21 +201,20 @@ func (m *MMU) prefetchTranslation(v mem.Addr, at mem.Cycle) {
 	}
 	m.TLBPrefetches++
 	t := at
-	for i, ref := range walk.Refs {
-		last := i == len(walk.Refs)-1
+	for i, ref := range walk.Refs[:walk.Levels] {
+		last := i == walk.Levels-1
 		key := v >> uint(12+9*(numLevels-1-i))
 		if !last && m.pwc.contains(i, key) {
 			continue
 		}
 		m.WalkRefs++
 		if m.walkPort != nil {
-			req := &mem.Request{
-				PAddr:         mem.BlockAlign(ref),
-				Type:          mem.PageWalk,
-				Core:          m.core,
-				PageSize:      mem.Page4K,
-				PageSizeKnown: true,
-			}
+			req := m.walkPool.Get()
+			req.PAddr = mem.BlockAlign(ref)
+			req.Type = mem.PageWalk
+			req.Core = m.core
+			req.PageSize = mem.Page4K
+			req.PageSizeKnown = true
 			t = m.walkPort.Access(req, t)
 		}
 	}

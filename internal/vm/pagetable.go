@@ -29,16 +29,22 @@ type PTE struct {
 	Valid bool
 }
 
-// ptNode is one radix-tree node. Child and leaf maps are sparse because
-// workloads touch a tiny portion of the 256TB virtual space.
+// ptFanout is the radix of each level: 9 virtual-address bits per level.
+const ptFanout = 512
+
+// ptNode is one radix-tree node, direct-indexed by the 9-bit radix field like
+// real hardware page tables. Nodes exist only along populated paths, so the
+// tree's footprint still tracks the touched fraction of the 256TB virtual
+// space; within a node, direct indexing replaces the map lookups that
+// dominated TLB-miss-heavy walk traffic. PTE.Valid marks occupied leaf slots.
 type ptNode struct {
 	phys  mem.Addr // physical base of this node (walk references target it)
-	child map[int]*ptNode
-	leaf  map[int]PTE
+	child [ptFanout]*ptNode
+	leaf  [ptFanout]PTE
 }
 
 func newPTNode(phys mem.Addr) *ptNode {
-	return &ptNode{phys: phys, child: make(map[int]*ptNode), leaf: make(map[int]PTE)}
+	return &ptNode{phys: phys}
 }
 
 // PageTable is a 4-level x86-64-style radix page table whose nodes occupy
@@ -68,17 +74,18 @@ func (pt *PageTable) Map(v mem.Addr, pte PTE) {
 	}
 	for level := levelPML4; level < lastLevel; level++ {
 		idx := vaIndex(v, level)
-		c, ok := n.child[idx]
-		if !ok {
+		c := n.child[idx]
+		if c == nil {
 			c = newPTNode(pt.alloc.AllocPTNode())
 			n.child[idx] = c
 		}
 		n = c
 	}
 	idx := vaIndex(v, lastLevel)
-	if _, dup := n.leaf[idx]; dup {
+	if n.leaf[idx].Valid {
 		panic("vm: double mapping")
 	}
+	pte.Valid = true
 	n.leaf[idx] = pte
 	pt.pages++
 }
@@ -87,9 +94,11 @@ func (pt *PageTable) Map(v mem.Addr, pte PTE) {
 type WalkResult struct {
 	PTE PTE
 	// Refs are the physical addresses of the page-table entries read by the
-	// walker, in root-to-leaf order: 4 for a 4KB mapping, 3 for a 2MB one.
-	Refs []mem.Addr
-	// Levels is len(Refs).
+	// walker, in root-to-leaf order; only Refs[:Levels] are meaningful. The
+	// fixed array keeps Walk allocation-free on the TLB-miss path.
+	Refs [numLevels]mem.Addr
+	// Levels is the number of valid references: 4 for a 4KB mapping, 3 for a
+	// 2MB one, 2 for 1GB.
 	Levels int
 }
 
@@ -100,19 +109,16 @@ func (pt *PageTable) Walk(v mem.Addr) (WalkResult, bool) {
 	n := pt.root
 	for level := levelPML4; level < numLevels; level++ {
 		idx := vaIndex(v, level)
-		entryAddr := n.phys + mem.Addr(idx)*8
-		res.Refs = append(res.Refs, entryAddr)
-		if pte, ok := n.leaf[idx]; ok {
+		res.Refs[level] = n.phys + mem.Addr(idx)*8
+		res.Levels = level + 1
+		if pte := n.leaf[idx]; pte.Valid {
 			// A 2MB leaf sits at the PD level, a 4KB leaf at the PT level.
 			res.PTE = pte
-			res.Levels = len(res.Refs)
 			return res, true
 		}
-		c, ok := n.child[idx]
-		if !ok {
+		if n = n.child[idx]; n == nil {
 			return WalkResult{}, false
 		}
-		n = c
 	}
 	return WalkResult{}, false
 }

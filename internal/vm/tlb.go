@@ -19,8 +19,18 @@ type tlbEntry struct {
 // 2MB index second (a dual-probe unified design).
 type TLB struct {
 	sets, ways int
-	entries    []tlbEntry // sets × ways
-	tick       uint64
+	// setMask is sets-1 when sets is a power of two (the default geometries
+	// are), letting set selection use a mask instead of a modulo; zero when
+	// the geometry forces the generic path.
+	setMask mem.Addr
+	entries []tlbEntry // sets × ways
+	tick    uint64
+
+	// present[s] records whether an entry of page size s was ever inserted:
+	// Lookup skips probe passes for sizes the workload never maps (pure 4KB
+	// address spaces pay one probe instead of three). Conservatively sticky —
+	// Flush invalidates entries but keeps the marks.
+	present [mem.NumPageSizes]bool
 
 	Hits, Misses uint64
 	// HitsBy breaks Hits down by the hitting entry's page size, indexed by
@@ -34,17 +44,26 @@ func NewTLB(entries, ways int) *TLB {
 	if entries%ways != 0 {
 		panic("vm: TLB entries not divisible by ways")
 	}
-	return &TLB{
+	t := &TLB{
 		sets:    entries / ways,
 		ways:    ways,
 		entries: make([]tlbEntry, entries),
 	}
+	if t.sets&(t.sets-1) == 0 {
+		t.setMask = mem.Addr(t.sets - 1)
+	}
+	return t
 }
 
 func (t *TLB) set(vpn mem.Addr) []tlbEntry {
-	s := int(vpn) % t.sets
-	if s < 0 {
-		s = -s
+	var s int
+	if t.setMask != 0 {
+		s = int(vpn & t.setMask)
+	} else {
+		s = int(vpn) % t.sets
+		if s < 0 {
+			s = -s
+		}
 	}
 	return t.entries[s*t.ways : (s+1)*t.ways]
 }
@@ -53,6 +72,9 @@ func (t *TLB) set(vpn mem.Addr) []tlbEntry {
 func (t *TLB) Lookup(v mem.Addr) (Translation, bool) {
 	t.tick++
 	for _, size := range [3]mem.PageSize{mem.Page4K, mem.Page2M, mem.Page1G} {
+		if !t.present[size] {
+			continue
+		}
 		vpn := mem.PageNumber(v, size)
 		set := t.set(vpn)
 		for i := range set {
@@ -73,6 +95,7 @@ func (t *TLB) Lookup(v mem.Addr) (Translation, bool) {
 // Insert installs a translation for v, evicting the set's LRU entry.
 func (t *TLB) Insert(v mem.Addr, tr Translation) {
 	t.tick++
+	t.present[tr.Size] = true
 	vpn := mem.PageNumber(v, tr.Size)
 	set := t.set(vpn)
 	victim := 0
