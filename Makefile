@@ -18,10 +18,11 @@ vet:
 	$(GO) vet ./...
 
 # fuzz-seeds replays every checked-in fuzz seed corpus as plain tests (no
-# fuzzing engine) under the race detector, catching trace-format and
-# submit-decoder regressions deterministically.
+# fuzzing engine) under the race detector, catching trace-format,
+# batch-decoder, submit-decoder and flat-page-table regressions
+# deterministically.
 fuzz-seeds:
-	$(GO) test -race -run=Fuzz ./internal/trace/ ./internal/service/
+	$(GO) test -race -run=Fuzz ./internal/trace/ ./internal/service/ ./internal/vm/
 
 # bench runs the pinned workload×prefetcher microbenchmark suite and writes
 # BENCH_<date>.json (see cmd/pbench -h for comparing against a baseline).

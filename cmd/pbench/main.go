@@ -50,7 +50,10 @@ type pin struct {
 var pins = []pin{
 	{Workload: "libquantum", Spec: sim.PrefSpec{Base: "none"}, Smoke: true},
 	{Workload: "libquantum", Spec: sim.PrefSpec{Base: "spp", Variant: core.PSASD}, Smoke: true},
-	{Workload: "milc", Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA2MB}},
+	// milc and mcf are the walk-bound rows (TLB-miss and page-walk heavy):
+	// both run under -smoke so the CI gate watches the translation path, not
+	// just the streaming one.
+	{Workload: "milc", Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA2MB}, Smoke: true},
 	{Workload: "mcf", Spec: sim.PrefSpec{Base: "ppf", Variant: core.PSA}, Smoke: true},
 	{Workload: "soplex", Spec: sim.PrefSpec{Base: "vldp", Variant: core.Original}},
 	{Workload: "pr.road", Spec: sim.PrefSpec{Base: "bop", Variant: core.PSA}},

@@ -52,7 +52,6 @@ type line struct {
 	core       uint8     // core that triggered the fill
 	rrpv       uint8     // SRRIP re-reference prediction value
 	readyAt    mem.Cycle // fill completion; hits before this merge with the fill
-	lru        uint64
 }
 
 // Config describes one cache level.
@@ -274,6 +273,9 @@ type Cache struct {
 	// way instead of a whole line struct, which is most of what find costs on
 	// miss-heavy workloads.
 	tags []mem.Addr
+	// lrus mirrors each way's last-touch tick in the same dense layout, so the
+	// LRU victim scan reads 8 contiguous bytes per way like the tag scan does.
+	lrus []uint64
 	tick uint64
 
 	// setMask is Sets-1 when Sets is a power of two, replacing the modulo in
@@ -284,11 +286,36 @@ type Cache struct {
 	// wbPool supplies the scratch request for dirty-victim writebacks: the
 	// downstream Access completes synchronously and never retains the request.
 	wbPool mem.RequestPool
+	// prPool supplies the scratch copy for prefetch-promotion re-issues, the
+	// same synchronous-downstream lifetime as wbPool.
+	prPool mem.RequestPool
 
 	// mshrFree holds the next-free cycle of each MSHR entry. A request that
 	// finds every entry busy stalls until the earliest one frees — this is
 	// how MSHR pressure throttles both demands and prefetches (Fig. 12A).
 	mshrFree []mem.Cycle
+	// pfDropUntil is a proven drop watermark for the prefetch reserve check:
+	// when the last full scan found free ≤ reserve, no entry frees before the
+	// earliest busy completion seen, and slot values only ever grow — so any
+	// prefetch arriving before that cycle must drop too, without rescanning.
+	pfDropUntil mem.Cycle
+	// mshrMaxDone is the largest completion time ever written into mshrFree
+	// (monotone upper bound on every slot): a request at or past it proves the
+	// whole pool free without a scan.
+	mshrMaxDone mem.Cycle
+
+	// lastMissBlock/lastMissTick memoize the most recent failed lookup. Tags
+	// change only in fill, which bumps tick, so an equal (block, tick) pair
+	// proves the block is still absent: the Contains probe right before a
+	// prefetch issue makes the issue's own lookup a guaranteed miss, and the
+	// memo skips that second set scan.
+	lastMissBlock mem.Addr
+	lastMissTick  uint64
+	// mru[s] is the way of set s's most recent hit or fill. Tags are unique
+	// within a set, so probing it first returns the same index as the scan —
+	// and consecutive accesses inside one block (the common case for demand
+	// streams) resolve in a single compare.
+	mru []int32
 
 	next     mem.Port
 	observer Observer
@@ -314,13 +341,16 @@ func New(cfg Config, next mem.Port) *Cache {
 		cfg:      cfg,
 		lines:    make([]line, cfg.Sets*cfg.Ways),
 		tags:     make([]mem.Addr, cfg.Sets*cfg.Ways),
+		lrus:     make([]uint64, cfg.Sets*cfg.Ways),
 		mshrFree: make([]mem.Cycle, cfg.MSHREntries),
+		mru:      make([]int32, cfg.Sets),
 		next:     next,
 		rng:      uint64(len(cfg.Name))*0x9e3779b97f4a7c15 + 1,
 	}
 	for i := range c.tags {
 		c.tags[i] = tagInvalid
 	}
+	c.lastMissBlock = tagInvalid
 	if cfg.Sets&(cfg.Sets-1) == 0 {
 		c.setMask = mem.Addr(cfg.Sets - 1)
 	}
@@ -388,13 +418,30 @@ func (c *Cache) find(block mem.Addr) *line {
 // it once per request and reuses it for the lookup, the observer callback, and
 // the fill.
 func (c *Cache) findAt(si int, block mem.Addr) *line {
-	base := si * c.cfg.Ways
-	for i, t := range c.tags[base : base+c.cfg.Ways] {
-		if t == block {
-			return &c.lines[base+i]
-		}
+	if gi := c.findIdx(si, block); gi >= 0 {
+		return &c.lines[gi]
 	}
 	return nil
+}
+
+// findIdx returns the global way index of block in set si, or -1: index form
+// of findAt, for paths that also update the dense replacement mirrors.
+func (c *Cache) findIdx(si int, block mem.Addr) int {
+	base := si * c.cfg.Ways
+	if m := base + int(c.mru[si]); c.tags[m] == block {
+		return m
+	}
+	if block == c.lastMissBlock && c.tick == c.lastMissTick {
+		return -1
+	}
+	for i, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == block {
+			c.mru[si] = int32(i)
+			return base + i
+		}
+	}
+	c.lastMissBlock, c.lastMissTick = block, c.tick
+	return -1
 }
 
 // Contains reports whether block is present (valid) in the cache, including
@@ -414,6 +461,11 @@ func (c *Cache) InFlight(block mem.Addr, at mem.Cycle) bool {
 // returns the cycle at which the miss may proceed. The entry is tentatively
 // held; the caller must release it by storing the final completion time.
 func (c *Cache) allocMSHR(at mem.Cycle) (idx int, start mem.Cycle) {
+	if at >= c.mshrMaxDone {
+		// Every slot value is ≤ mshrMaxDone, so the whole pool is free and the
+		// scan below would return its first entry at `at`.
+		return 0, at
+	}
 	best := 0
 	for i, f := range c.mshrFree {
 		if f <= at {
@@ -432,6 +484,19 @@ func (c *Cache) allocMSHR(at mem.Cycle) (idx int, start mem.Cycle) {
 // structs.
 func (c *Cache) victim(si int, set []line) int {
 	base := si * c.cfg.Ways
+	if c.cfg.Replacement == ReplLRU {
+		// Invalid ways hold lru 0 and valid ways tick ≥ 1, so one
+		// first-strict-min scan over the dense mirror is exactly
+		// "first invalid way, else first least-recently-used way".
+		v := 0
+		lrus := c.lrus[base : base+c.cfg.Ways]
+		for i, l := range lrus {
+			if l < lrus[v] {
+				v = i
+			}
+		}
+		return v
+	}
 	for i, t := range c.tags[base : base+c.cfg.Ways] {
 		if t == tagInvalid {
 			return i
@@ -455,8 +520,9 @@ func (c *Cache) victim(si int, set []line) int {
 		return int(c.rng>>33) % len(set)
 	default:
 		v := 0
-		for i := range set {
-			if set[i].lru < set[v].lru {
+		lrus := c.lrus[base : base+c.cfg.Ways]
+		for i, l := range lrus {
+			if l < lrus[v] {
 				v = i
 			}
 		}
@@ -464,11 +530,11 @@ func (c *Cache) victim(si int, set []line) int {
 	}
 }
 
-// touch updates replacement state on a hit.
-func (c *Cache) touch(l *line) {
+// touchAt updates replacement state on a hit of the way at global index gi.
+func (c *Cache) touchAt(gi int) {
 	c.tick++
-	l.lru = c.tick
-	l.rrpv = 0
+	c.lrus[gi] = c.tick
+	c.lines[gi].rrpv = 0
 }
 
 // fill installs block into the cache with the given fill-completion time,
@@ -504,6 +570,8 @@ func (c *Cache) fill(si int, block mem.Addr, readyAt, now mem.Cycle, req *mem.Re
 	}
 	c.tick++
 	c.tags[si*c.cfg.Ways+vi] = block
+	c.lrus[si*c.cfg.Ways+vi] = c.tick
+	c.mru[si] = int32(vi)
 	*v = line{
 		block:      block,
 		valid:      true,
@@ -513,7 +581,6 @@ func (c *Cache) fill(si int, block mem.Addr, readyAt, now mem.Cycle, req *mem.Re
 		core:       uint8(req.Core),
 		rrpv:       2, // SRRIP long re-reference insertion
 		readyAt:    readyAt,
-		lru:        c.tick,
 	}
 }
 
@@ -541,9 +608,9 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 	if req.Type == mem.Writeback {
 		// Writebacks update in place on hit or forward below; they carry no
 		// completion dependence for the core.
-		if l := c.find(block); l != nil {
-			l.dirty = true
-			c.touch(l)
+		if gi := c.findIdx(c.SetIndex(block), block); gi >= 0 {
+			c.lines[gi].dirty = true
+			c.touchAt(gi)
 			return at + c.cfg.Latency
 		}
 		if c.next != nil {
@@ -554,7 +621,8 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 
 	lookupDone := at + c.cfg.Latency
 	si := c.SetIndex(block)
-	if l := c.findAt(si, block); l != nil {
+	if gi := c.findIdx(si, block); gi >= 0 {
+		l := &c.lines[gi]
 		done := lookupDone
 		merged := l.readyAt > at // fill still in flight: MSHR merge semantics
 		if merged && l.readyAt > done {
@@ -567,14 +635,15 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 				// (mild traffic overcount, but promotion is rare — only
 				// deeply queued prefetches qualify), so promotion can never
 				// manufacture bandwidth.
-				re := *req
-				if promoted := c.next.Access(&re, lookupDone); promoted < done {
+				re := c.prPool.Get()
+				*re = *req
+				if promoted := c.next.Access(re, lookupDone); promoted < done {
 					done = promoted
 					l.readyAt = promoted
 				}
 			}
 		}
-		c.touch(l)
+		c.touchAt(gi)
 		if req.Type == mem.Store {
 			l.dirty = true
 		}
@@ -622,15 +691,29 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 	if req.Type == mem.Prefetch {
 		free, firstFree := 0, -1
 		reserve := c.cfg.MSHREntries / 4
-		for i, f := range c.mshrFree {
-			if f <= lookupDone {
-				free++
-				if firstFree < 0 {
-					firstFree = i
+		if lookupDone >= c.mshrMaxDone {
+			// Whole pool provably free: the scan would stop at free = reserve+1
+			// with the first entry as the allocation target.
+			free, firstFree = reserve+1, 0
+		} else if lookupDone >= c.pfDropUntil {
+			minBusy := mem.Cycle(1) << 62
+			for i, f := range c.mshrFree {
+				if f <= lookupDone {
+					free++
+					if firstFree < 0 {
+						firstFree = i
+					}
+					if free > reserve {
+						break // enough free entries proven; exact count not needed
+					}
+				} else if f < minBusy {
+					minBusy = f
 				}
-				if free > reserve {
-					break // enough free entries proven; exact count not needed
-				}
+			}
+			if free <= reserve {
+				// Nothing frees before minBusy and slot values only grow, so
+				// every prefetch arriving before then drops without a scan.
+				c.pfDropUntil = minBusy
 			}
 		}
 		if free <= reserve {
@@ -659,6 +742,9 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 		done = c.next.Access(req, start)
 	}
 	c.mshrFree[idx] = done
+	if done > c.mshrMaxDone {
+		c.mshrMaxDone = done
+	}
 	if fillHere {
 		c.fill(si, block, done, start, req)
 	}

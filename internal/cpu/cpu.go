@@ -72,6 +72,15 @@ type Core struct {
 	havePending bool
 	pendGap     int // non-memory ops still to issue before pending
 
+	// batch is the decoded slab consumed ahead of the fetch loop when the
+	// reader implements trace.BatchReader: the source decodes batchSize
+	// accesses per call instead of paying an interface dispatch per access.
+	// batchSrc guards reader identity so a caller switching readers between
+	// RunUntil calls never replays another stream's readahead.
+	batch              []trace.Access
+	batchPos, batchLen int
+	batchSrc           trace.Reader
+
 	// slotCycle/slotRetired/slotFetched carry the current cycle's consumed
 	// retire and fetch bandwidth across RunUntil boundaries. When a call
 	// returns mid-cycle (the instruction bound lands inside the retire burst),
@@ -108,6 +117,39 @@ func New(cfg Config, ms MemSystem) *Core {
 		c.ifetch = f
 	}
 	return c
+}
+
+// batchSize is the decoded-slab length: long enough to amortise the batch
+// call, short enough that the readahead stays resident in L1/L2 (512 accesses
+// × 32 bytes = 16KB).
+const batchSize = 512
+
+// nextAccess fills c.pending with the next trace access, draining the decoded
+// slab first and refilling it from a BatchReader when the source supports
+// batching. The readahead lives in the core, so chunked RunUntil calls see
+// exactly the stream a monolithic run would.
+func (c *Core) nextAccess(r trace.Reader) bool {
+	if r != c.batchSrc {
+		c.batchPos, c.batchLen, c.batchSrc = 0, 0, r
+	}
+	if c.batchPos < c.batchLen {
+		c.pending = c.batch[c.batchPos]
+		c.batchPos++
+		return true
+	}
+	if br, ok := r.(trace.BatchReader); ok {
+		if c.batch == nil {
+			c.batch = make([]trace.Access, batchSize)
+		}
+		c.batchLen = br.NextBatch(c.batch)
+		if c.batchLen == 0 {
+			return false
+		}
+		c.pending = c.batch[0]
+		c.batchPos = 1
+		return true
+	}
+	return r.Next(&c.pending)
 }
 
 func (c *Core) push(done mem.Cycle) { c.pushKind(done, 0) }
@@ -174,7 +216,7 @@ func (c *Core) RunUntil(r trace.Reader, maxInstructions uint64, untilCycle mem.C
 		// Fetch up to Width instructions into the ROB.
 		for !fetchedAll && c.size < c.cfg.ROBSize && fetched < c.cfg.Width {
 			if !c.havePending {
-				if !r.Next(&c.pending) {
+				if !c.nextAccess(r) {
 					fetchedAll = true
 					break
 				}
@@ -194,18 +236,43 @@ func (c *Core) RunUntil(r trace.Reader, maxInstructions uint64, untilCycle mem.C
 				}
 			}
 			if c.pendGap > 0 {
-				c.pendGap--
-				c.push(c.Cycle) // non-memory op: completes immediately
+				// Batch the cycle's worth of non-memory ops: the front-end
+				// checks above are no-ops for repeats at the same cycle (the
+				// instruction block was just fetched), so pushing k entries at
+				// once retires exactly like pushing them one loop pass each.
+				k := c.pendGap
+				if w := c.cfg.Width - fetched; k > w {
+					k = w
+				}
+				if s := c.cfg.ROBSize - c.size; k > s {
+					k = s
+				}
+				c.pendGap -= k
+				fetched += k - 1 // the loop footer counts the last one
+				for j := 0; j < k; j++ {
+					c.push(c.Cycle) // non-memory op: completes immediately
+				}
 			} else {
 				if c.pending.Write {
 					// Stores allocate a store-buffer slot; they retire as
 					// soon as a slot is free and hold it until the write
 					// completes in memory.
 					c.Stores++
+					// Any slot already free at the current cycle is as good as
+					// the true earliest: the clock never goes backwards, so the
+					// other free-now slots stay free for every later store and
+					// the observable start times are identical. Only when the
+					// whole buffer is busy does the argmin matter.
 					slot, start := 0, c.sbFree[0]
-					for i, f := range c.sbFree {
-						if f < start {
-							slot, start = i, f
+					if start > c.Cycle {
+						for i, f := range c.sbFree {
+							if f <= c.Cycle {
+								slot, start = i, f
+								break
+							}
+							if f < start {
+								slot, start = i, f
+							}
 						}
 					}
 					if start < c.Cycle {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/vm"
 )
 
 // detJobs builds a small cross-prefetcher batch over a reduced workload set.
@@ -101,6 +102,40 @@ func TestRunBatchPoolingEquivalence(t *testing.T) {
 	}
 	if pb, fb := mustJSON(t, pooled), mustJSON(t, fresh); !bytes.Equal(pb, fb) {
 		t.Errorf("pooled and fresh-allocation runs diverged:\npooled %s\nfresh  %s", pb, fb)
+	}
+}
+
+// TestRunBatchFlatVMEquivalence: the dense-array translation structures (flat
+// page table, parallel-array TLB and walk cache) and the pointer-radix
+// originals must be observationally identical — the vm flattening is an
+// optimisation, never a semantic change. The batch runs a quick
+// workload×prefetcher matrix at full parallelism under both settings; any
+// walk-reference, TLB-replacement or page-size divergence shows up as a
+// byte-level result diff.
+func TestRunBatchFlatVMEquivalence(t *testing.T) {
+	o := tinyOptions(t)
+	o.Workloads = o.Workloads[:3]
+	o.Warmup = 20_000
+	o.Instructions = 80_000
+	o.Parallelism = runtime.GOMAXPROCS(0)
+	jobs := detJobs(t, o)
+
+	if !vm.FlatVM {
+		t.Fatal("FlatVM must default to true")
+	}
+	flat, err := runBatch(o, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vm.FlatVM = false
+	defer func() { vm.FlatVM = true }()
+	radix, err := runBatch(o, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb, rb := mustJSON(t, flat), mustJSON(t, radix); !bytes.Equal(fb, rb) {
+		t.Errorf("flat and radix vm runs diverged:\nflat  %s\nradix %s", fb, rb)
 	}
 }
 

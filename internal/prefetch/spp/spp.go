@@ -387,7 +387,7 @@ func (p *Prefetcher) lookahead(trigger mem.Addr, sig uint16, off int, issue func
 	base := off
 	crossRecorded := false
 
-	alpha := p.alpha()
+	alpha := path
 	for depth := 0; depth < p.cfg.MaxLookahead; depth++ {
 		e := &p.pt[p.ptIndex(sig)]
 		if e.csig == 0 {

@@ -79,6 +79,10 @@ func newSystem(cfg Config, spec PrefSpec, workloads []trace.Workload, seed uint6
 	oracle := core.Oracle(s.alloc.PageSizeOf)
 	engines := make([]*core.Engine, len(workloads))
 
+	// Walk scratch is per-simulation state, like the allocator: one arena
+	// serves every core's walker.
+	walkArena := mem.NewRequestArena(0)
+
 	for i, w := range workloads {
 		n := &coreNode{id: i, l1Kind: spec.L1}
 		n.space = vm.NewAddressSpace(s.alloc, w.THP)
@@ -100,6 +104,7 @@ func newSystem(cfg Config, spec PrefSpec, workloads []trace.Workload, seed uint6
 		n.codeSpace = vm.NewAddressSpace(s.alloc, vm.FractionTHP{Frac: 0})
 		n.llc = s.llc
 		n.mmu = vm.NewMMU(n.space, cfg.MMU, i, n.l1d)
+		n.mmu.SetWalkArena(walkArena)
 		n.reader = w.New(seed + uint64(i)*997)
 
 		if spec.Base != "" && spec.Base != "none" {

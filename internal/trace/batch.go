@@ -1,0 +1,38 @@
+package trace
+
+// BatchReader is an optional extension of Reader: a source that can decode a
+// slab of accesses per call, amortising the per-access interface dispatch of
+// Next across a whole batch. The CPU's fetch loop type-asserts for it and
+// consumes decoded slabs when available; plain Readers keep working
+// unchanged.
+type BatchReader interface {
+	Reader
+	// NextBatch fills dst from the front and returns the number of accesses
+	// produced; fewer than len(dst) (including 0) means the trace drained.
+	NextBatch(dst []Access) int
+}
+
+// fillBatch fills dst by repeated Next calls on a concrete reader type. The
+// type parameter makes the Next call direct (devirtualised and inlinable into
+// the decode loop) rather than an interface dispatch per access — the whole
+// point of batching for the generator catalogue, whose per-access work is a
+// handful of arithmetic ops.
+func fillBatch[R Reader](r R, dst []Access) int {
+	n := 0
+	for n < len(dst) && r.Next(&dst[n]) {
+		n++
+	}
+	return n
+}
+
+// NextBatch implements BatchReader for every catalogue generator and the
+// trace-file replayer.
+func (s *streamReader) NextBatch(dst []Access) int  { return fillBatch(s, dst) }
+func (s *stencilReader) NextBatch(dst []Access) int { return fillBatch(s, dst) }
+func (c *chaseReader) NextBatch(dst []Access) int   { return fillBatch(c, dst) }
+func (g *gatherReader) NextBatch(dst []Access) int  { return fillBatch(g, dst) }
+func (g *graphReader) NextBatch(dst []Access) int   { return fillBatch(g, dst) }
+func (m *matmulReader) NextBatch(dst []Access) int  { return fillBatch(m, dst) }
+func (h *hashReader) NextBatch(dst []Access) int    { return fillBatch(h, dst) }
+func (q *qmmReader) NextBatch(dst []Access) int     { return fillBatch(q, dst) }
+func (t *FileReader) NextBatch(dst []Access) int    { return fillBatch(t, dst) }

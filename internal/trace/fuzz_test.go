@@ -45,6 +45,55 @@ func FuzzFileReader(f *testing.F) {
 	})
 }
 
+// FuzzBatchReader: batched decode must be a pure re-chunking of Next. For
+// arbitrary (possibly corrupt) trace bytes and arbitrary slab sizes, a reader
+// drained through NextBatch yields exactly the access sequence of a reader
+// drained one record at a time — including where the stream ends.
+func FuzzBatchReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 20; i++ {
+		w.Write(Access{VAddr: mem.Addr(0x1000 + i*64), PC: 0x400000, Gap: i % 8, Write: i%3 == 0})
+	}
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid, uint8(4))
+	f.Add(valid, uint8(1))
+	f.Add(valid[:len(valid)-3], uint8(7))
+	f.Add([]byte("JUNK"), uint8(3))
+	f.Add([]byte{}, uint8(5))
+
+	f.Fuzz(func(t *testing.T, data []byte, slab uint8) {
+		n := int(slab%16) + 1
+		batched := NewFileReader(bytes.NewReader(data))
+		serial := NewFileReader(bytes.NewReader(data))
+		dst := make([]Access, n)
+		var want Access
+		total := 0
+		for total < 10000 {
+			got := batched.NextBatch(dst)
+			if got < 0 || got > n {
+				t.Fatalf("NextBatch returned %d for slab %d", got, n)
+			}
+			for i := 0; i < got; i++ {
+				if !serial.Next(&want) {
+					t.Fatalf("batched decode produced %d extra accesses", got-i)
+				}
+				if dst[i] != want {
+					t.Fatalf("access %d diverged: batch %+v serial %+v", total+i, dst[i], want)
+				}
+			}
+			total += got
+			if got < n {
+				break
+			}
+		}
+		if serial.Next(&want) && total < 10000 {
+			t.Fatal("batched decode ended early")
+		}
+	})
+}
+
 // FuzzGenerators drives every catalogue generator from fuzzed seeds: streams
 // must stay deterministic per seed and produce sane accesses.
 func FuzzGenerators(f *testing.F) {

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"sync"
+
 	"repro/internal/mem"
 )
 
@@ -112,10 +114,23 @@ type chaseReader struct {
 	auxAddr         mem.Addr
 }
 
-// NewChase builds a pointer chase over nodes nodes arranged in one random
-// cycle (Sattolo's algorithm), with nodeSize bytes per node and auxLen
-// sequential payload accesses after each hop.
-func NewChase(seed uint64, gap, nodes int, nodeSize mem.Addr, auxLen int) Reader {
+// chasePerms memoizes the Sattolo cycle per (seed, nodes): building one over a
+// million nodes costs more than a whole warmup chunk, every simulation of a
+// given workload rebuilds the identical permutation, and readers only ever
+// read it — so batches (and the flat-vs-radix differential running simulations
+// in parallel) can share one slice. Bounded to keep long-running daemons flat.
+var chasePerms struct {
+	sync.Mutex
+	m map[[2]uint64][]int32
+}
+
+func chasePerm(seed uint64, nodes int) []int32 {
+	key := [2]uint64{seed, uint64(nodes)}
+	chasePerms.Lock()
+	defer chasePerms.Unlock()
+	if p, ok := chasePerms.m[key]; ok {
+		return p
+	}
 	r := newRNG(seed)
 	perm := make([]int32, nodes)
 	for i := range perm {
@@ -126,7 +141,24 @@ func NewChase(seed uint64, gap, nodes int, nodeSize mem.Addr, auxLen int) Reader
 		j := r.intn(i)
 		perm[i], perm[j] = perm[j], perm[i]
 	}
-	return &chaseReader{perm: perm, nodeSize: nodeSize, gap: gap, auxLen: auxLen}
+	if chasePerms.m == nil {
+		chasePerms.m = make(map[[2]uint64][]int32)
+	}
+	if len(chasePerms.m) >= 64 {
+		for k := range chasePerms.m {
+			delete(chasePerms.m, k)
+			break
+		}
+	}
+	chasePerms.m[key] = perm
+	return perm
+}
+
+// NewChase builds a pointer chase over nodes nodes arranged in one random
+// cycle (Sattolo's algorithm), with nodeSize bytes per node and auxLen
+// sequential payload accesses after each hop.
+func NewChase(seed uint64, gap, nodes int, nodeSize mem.Addr, auxLen int) Reader {
+	return &chaseReader{perm: chasePerm(seed, nodes), nodeSize: nodeSize, gap: gap, auxLen: auxLen}
 }
 
 func (c *chaseReader) Next(a *Access) bool {

@@ -1,0 +1,176 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// FlatVM selects the dense-array translation structures (flat page table,
+// parallel-array TLB and walk cache) over the original pointer-radix and
+// struct-slice implementations. It exists for the differential determinism
+// tests, which run full simulations under both settings and require
+// byte-identical results — proving the flattening is an optimisation, never a
+// semantic change. It is a package variable rather than a sim.Config field so
+// the content-addressed result cache (which marshals Config into its keys) is
+// unaffected. Read at construction time: flipping it does not retarget live
+// structures.
+var FlatVM = true
+
+// Flat page-table entry words. Each radix node is a 512-word slab inside one
+// dense []uint64, so a walk reads exactly one word per level instead of
+// chasing node pointers and probing separate child/leaf arrays. The low bits
+// of each word carry the entry kind (frames and node indices leave them free:
+// frames are at least 4KB-aligned, node indices are shifted into place):
+//
+//	bit 0      present  (0 ⇒ empty slot)
+//	bit 1      leaf     (0 ⇒ interior: bits 2.. hold the child node index)
+//	bits 2-3   page size of a leaf (mem.PageSize), ready for a NAPOT-style
+//	           64KB extension without reshaping the table
+//	bits 12..  physical frame base of a leaf
+const (
+	flatPresent = 1 << 0
+	flatLeaf    = 1 << 1
+	flatSizeShift = 2
+	flatSizeMask  = 3 << flatSizeShift
+	flatChildShift = 2
+)
+
+// encodeLeafWord packs a leaf PTE into its entry word. The frame must be
+// page-aligned for the encoded size (its low 12 bits are always free).
+func encodeLeafWord(frame mem.Addr, size mem.PageSize) uint64 {
+	if frame&(size.Bytes()-1) != 0 {
+		panic(fmt.Sprintf("vm: leaf frame %#x not aligned to %v", frame, size))
+	}
+	if size >= mem.NumPageSizes {
+		panic(fmt.Sprintf("vm: leaf size %d out of range", size))
+	}
+	return uint64(frame) | uint64(size)<<flatSizeShift | flatLeaf | flatPresent
+}
+
+// decodeLeafWord unpacks a leaf entry word. The word must have both present
+// and leaf bits set; the caller checks.
+func decodeLeafWord(w uint64) PTE {
+	return PTE{
+		Frame: mem.Addr(w) &^ (mem.PageSize4K - 1),
+		Size:  mem.PageSize(w & flatSizeMask >> flatSizeShift),
+		Valid: true,
+	}
+}
+
+// flatTable is the dense-array page table: node n occupies
+// words[n*ptFanout : (n+1)*ptFanout], and phys[n] is its simulated physical
+// base (walk references target it). Node 0 is the root. Nodes are appended as
+// paths populate, so the footprint still tracks the touched fraction of the
+// virtual space.
+type flatTable struct {
+	words []uint64
+	phys  []mem.Addr
+}
+
+// flatInitialNodes pre-sizes the slab for the common case so early Map calls
+// do not re-grow it.
+const flatInitialNodes = 64
+
+func newFlatTable(rootPhys mem.Addr) *flatTable {
+	ft := &flatTable{
+		words: make([]uint64, ptFanout, flatInitialNodes*ptFanout),
+		phys:  make([]mem.Addr, 1, flatInitialNodes),
+	}
+	ft.phys[0] = rootPhys
+	return ft
+}
+
+// addNode appends a fresh zeroed node and returns its index.
+func (ft *flatTable) addNode(phys mem.Addr) uint64 {
+	n := uint64(len(ft.phys))
+	ft.phys = append(ft.phys, phys)
+	if cap(ft.words) >= len(ft.words)+ptFanout {
+		ft.words = ft.words[: len(ft.words)+ptFanout]
+	} else {
+		ft.words = append(ft.words, make([]uint64, ptFanout)...)
+	}
+	return n
+}
+
+// mapLeaf installs a leaf mapping for the page of size pte.Size containing v,
+// creating interior nodes along the path. Mapping an already-mapped slot
+// panics, mirroring the radix table: the address space owns dedup.
+func (ft *flatTable) mapLeaf(alloc *Allocator, v mem.Addr, pte PTE) {
+	lastLevel := leafLevel(pte.Size)
+	node := uint64(0)
+	for level := levelPML4; level < lastLevel; level++ {
+		slot := node*ptFanout + uint64(vaIndex(v, level))
+		w := ft.words[slot]
+		if w&flatPresent == 0 {
+			child := ft.addNode(alloc.AllocPTNode())
+			ft.words[slot] = child<<flatChildShift | flatPresent
+			node = child
+			continue
+		}
+		if w&flatLeaf != 0 {
+			// The radix table would shadow the leaf behind a new interior
+			// node; nothing reaches this through AddressSpace (dedup happens
+			// there), so the flat table rejects it loudly instead.
+			panic("vm: mapping below an existing leaf")
+		}
+		node = w >> flatChildShift
+	}
+	slot := node*ptFanout + uint64(vaIndex(v, lastLevel))
+	if ft.words[slot]&flatPresent != 0 {
+		panic("vm: double mapping")
+	}
+	ft.words[slot] = encodeLeafWord(pte.Frame, pte.Size)
+}
+
+// walk resolves v, recording per-level entry addresses.
+func (ft *flatTable) walk(v mem.Addr) (WalkResult, bool) {
+	var res WalkResult
+	words, phys := ft.words, ft.phys
+	node := uint64(0)
+	for level := levelPML4; level < numLevels; level++ {
+		idx := uint64(vaIndex(v, level))
+		res.Refs[level] = phys[node] + mem.Addr(idx)*8
+		res.Levels = level + 1
+		w := words[node*ptFanout+idx]
+		if w&flatPresent == 0 {
+			return WalkResult{}, false
+		}
+		if w&flatLeaf != 0 {
+			res.PTE = decodeLeafWord(w)
+			return res, true
+		}
+		node = w >> flatChildShift
+	}
+	return WalkResult{}, false
+}
+
+// lookup resolves v without recording walk references (the demand-mapping
+// fast path: one word read per level, no Refs writes).
+func (ft *flatTable) lookup(v mem.Addr) (PTE, bool) {
+	words := ft.words
+	node := uint64(0)
+	for level := levelPML4; level < numLevels; level++ {
+		w := words[node*ptFanout+uint64(vaIndex(v, level))]
+		if w&flatPresent == 0 {
+			return PTE{}, false
+		}
+		if w&flatLeaf != 0 {
+			return decodeLeafWord(w), true
+		}
+		node = w >> flatChildShift
+	}
+	return PTE{}, false
+}
+
+// leafLevel returns the radix level at which a mapping of the given size
+// terminates: PT for 4KB, PD for 2MB, PDPT for 1GB.
+func leafLevel(s mem.PageSize) int {
+	switch s {
+	case mem.Page2M:
+		return levelPD
+	case mem.Page1G:
+		return levelPDPT
+	}
+	return levelPT
+}

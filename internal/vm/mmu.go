@@ -5,8 +5,10 @@ import (
 )
 
 // pwcEntry caches an interior page-table entry (PML4/PDPT/PD level), keyed by
-// the virtual-address prefix it translates. These are the MMU caches / page
-// structure caches of Section II-B that let walks skip upper-level references.
+// the virtual-address prefix it translates, in the legacy struct layout kept
+// for the flat-vs-radix differential (see FlatVM). These are the MMU caches /
+// page structure caches of Section II-B that let walks skip upper-level
+// references.
 type pwcEntry struct {
 	level int
 	key   mem.Addr
@@ -14,10 +16,21 @@ type pwcEntry struct {
 	lru   uint64
 }
 
+// Flat walk-cache tag word: key<<4 | level<<2 | 1, with 0 as the invalid
+// sentinel. The level occupies two bits (only interior levels 0..2 are
+// cached), and the key is a virtual-address prefix of at most 36 bits, so the
+// packed word cannot collide.
+func pwcTag(level int, key mem.Addr) uint64 {
+	return uint64(key)<<4 | uint64(level)<<2 | 1
+}
+
 // WalkCache is a small fully-associative MMU cache over interior page-table
-// entries.
+// entries. Storage is chosen at construction: dense parallel tag/LRU arrays
+// when FlatVM is set, the legacy entry structs otherwise.
 type WalkCache struct {
-	entries []pwcEntry
+	tags    []uint64 // flat layout: tag words, 0 = invalid
+	lrus    []uint64
+	entries []pwcEntry // legacy layout; nil when flat
 	tick    uint64
 	Hits    uint64
 	Lookups uint64
@@ -25,12 +38,26 @@ type WalkCache struct {
 
 // NewWalkCache creates a walk cache with n entries.
 func NewWalkCache(n int) *WalkCache {
+	if FlatVM {
+		return &WalkCache{tags: make([]uint64, n), lrus: make([]uint64, n)}
+	}
 	return &WalkCache{entries: make([]pwcEntry, n)}
 }
 
 func (w *WalkCache) contains(level int, key mem.Addr) bool {
 	w.Lookups++
 	w.tick++
+	if w.tags != nil {
+		tag := pwcTag(level, key)
+		for i, tg := range w.tags {
+			if tg == tag {
+				w.lrus[i] = w.tick
+				w.Hits++
+				return true
+			}
+		}
+		return false
+	}
 	for i := range w.entries {
 		e := &w.entries[i]
 		if e.valid && e.level == level && e.key == key {
@@ -44,6 +71,21 @@ func (w *WalkCache) contains(level int, key mem.Addr) bool {
 
 func (w *WalkCache) insert(level int, key mem.Addr) {
 	w.tick++
+	if w.tags != nil {
+		victim := 0
+		for i, tg := range w.tags {
+			if tg == 0 {
+				victim = i
+				break
+			}
+			if w.lrus[i] < w.lrus[victim] {
+				victim = i
+			}
+		}
+		w.tags[victim] = pwcTag(level, key)
+		w.lrus[victim] = w.tick
+		return
+	}
 	victim := 0
 	for i := range w.entries {
 		if !w.entries[i].valid {
@@ -84,6 +126,10 @@ func DefaultMMUConfig() MMUConfig {
 	}
 }
 
+// walkShift[i] is the right-shift that produces the walk-cache key for level
+// i: the virtual-address prefix translated by that level's entry.
+var walkShift = [numLevels]uint{39, 30, 21, 12}
+
 // MMU models one core's translation machinery: L1 DTLB, L2 TLB, MMU caches,
 // and a page-table walker whose references are injected into the cache
 // hierarchy through the walk port.
@@ -100,9 +146,12 @@ type MMU struct {
 	// as demand traffic (L1D→L2→LLC→DRAM).
 	walkPort mem.Port
 
-	// walkPool supplies the scratch request for walker references: each
-	// reference's Access completes before the next is issued.
-	walkPool mem.RequestPool
+	// walkArena supplies scratch requests for walker references: each
+	// reference's Access completes before the next is issued, so a small ring
+	// suffices. The assembled system shares one arena across all its MMUs
+	// (walk scratch is per-simulation state, like the allocator); unit tests
+	// that construct an MMU directly get a private arena by default.
+	walkArena *mem.RequestArena
 
 	Walks    uint64
 	WalkRefs uint64
@@ -119,15 +168,20 @@ type MMU struct {
 // which case walks cost zero memory time (useful in unit tests).
 func NewMMU(space *AddressSpace, cfg MMUConfig, core int, walkPort mem.Port) *MMU {
 	return &MMU{
-		space:    space,
-		l1:       NewTLB(cfg.L1Entries, cfg.L1Ways),
-		l2:       NewTLB(cfg.L2Entries, cfg.L2Ways),
-		pwc:      NewWalkCache(cfg.WalkCacheEntries),
-		cfg:      cfg,
-		core:     core,
-		walkPort: walkPort,
+		space:     space,
+		l1:        NewTLB(cfg.L1Entries, cfg.L1Ways),
+		l2:        NewTLB(cfg.L2Entries, cfg.L2Ways),
+		pwc:       NewWalkCache(cfg.WalkCacheEntries),
+		cfg:       cfg,
+		core:      core,
+		walkPort:  walkPort,
+		walkArena: mem.NewRequestArena(0),
 	}
 }
+
+// SetWalkArena replaces the MMU's private walk-scratch arena; the assembled
+// system calls it so all cores draw from one per-simulation arena.
+func (m *MMU) SetWalkArena(a *mem.RequestArena) { m.walkArena = a }
 
 // L1 exposes the first-level TLB for statistics.
 func (m *MMU) L1() *TLB { return m.l1 }
@@ -158,7 +212,7 @@ func (m *MMU) Translate(v mem.Addr, at mem.Cycle) (Translation, mem.Cycle) {
 		last := i == walk.Levels-1
 		// Interior levels may be served by the MMU caches; the leaf entry is
 		// always fetched from the memory hierarchy.
-		key := v >> uint(12+9*(numLevels-1-i))
+		key := v >> walkShift[i]
 		if !last && m.pwc.contains(i, key) {
 			continue
 		}
@@ -167,7 +221,7 @@ func (m *MMU) Translate(v mem.Addr, at mem.Cycle) (Translation, mem.Cycle) {
 		}
 		m.WalkRefs++
 		if m.walkPort != nil {
-			req := m.walkPool.Get()
+			req := m.walkArena.Get()
 			req.PAddr = mem.BlockAlign(ref)
 			req.Type = mem.PageWalk
 			req.Core = m.core
@@ -203,13 +257,13 @@ func (m *MMU) prefetchTranslation(v mem.Addr, at mem.Cycle) {
 	t := at
 	for i, ref := range walk.Refs[:walk.Levels] {
 		last := i == walk.Levels-1
-		key := v >> uint(12+9*(numLevels-1-i))
+		key := v >> walkShift[i]
 		if !last && m.pwc.contains(i, key) {
 			continue
 		}
 		m.WalkRefs++
 		if m.walkPort != nil {
-			req := m.walkPool.Get()
+			req := m.walkArena.Get()
 			req.PAddr = mem.BlockAlign(ref)
 			req.Type = mem.PageWalk
 			req.Core = m.core

@@ -32,11 +32,9 @@ type PTE struct {
 // ptFanout is the radix of each level: 9 virtual-address bits per level.
 const ptFanout = 512
 
-// ptNode is one radix-tree node, direct-indexed by the 9-bit radix field like
-// real hardware page tables. Nodes exist only along populated paths, so the
-// tree's footprint still tracks the touched fraction of the 256TB virtual
-// space; within a node, direct indexing replaces the map lookups that
-// dominated TLB-miss-heavy walk traffic. PTE.Valid marks occupied leaf slots.
+// ptNode is one pointer-radix node, the original representation kept for the
+// flat-vs-radix differential (see FlatVM). PTE.Valid marks occupied leaf
+// slots.
 type ptNode struct {
 	phys  mem.Addr // physical base of this node (walk references target it)
 	child [ptFanout]*ptNode
@@ -49,29 +47,38 @@ func newPTNode(phys mem.Addr) *ptNode {
 
 // PageTable is a 4-level x86-64-style radix page table whose nodes occupy
 // simulated physical memory, so that page walks generate real references into
-// the cache hierarchy.
+// the cache hierarchy. The representation is chosen at construction: the
+// dense flatTable when FlatVM is set (one entry word per level per walk), the
+// pointer radix otherwise.
 type PageTable struct {
 	alloc *Allocator
-	root  *ptNode
-	pages int // number of leaf mappings
+	flat  *flatTable // dense representation; nil when FlatVM was off
+	root  *ptNode    // pointer-radix representation; nil when FlatVM was on
+	pages int        // number of leaf mappings
 }
 
 // NewPageTable creates an empty page table drawing node frames from alloc.
 func NewPageTable(alloc *Allocator) *PageTable {
-	return &PageTable{alloc: alloc, root: newPTNode(alloc.AllocPTNode())}
+	pt := &PageTable{alloc: alloc}
+	if FlatVM {
+		pt.flat = newFlatTable(alloc.AllocPTNode())
+	} else {
+		pt.root = newPTNode(alloc.AllocPTNode())
+	}
+	return pt
 }
 
 // Map installs a leaf mapping for the page of size pte.Size containing v.
 // Mapping an already-mapped page panics: the address space owns dedup.
 func (pt *PageTable) Map(v mem.Addr, pte PTE) {
-	n := pt.root
-	lastLevel := levelPT
-	switch pte.Size {
-	case mem.Page2M:
-		lastLevel = levelPD
-	case mem.Page1G:
-		lastLevel = levelPDPT
+	pte.Valid = true
+	if pt.flat != nil {
+		pt.flat.mapLeaf(pt.alloc, v, pte)
+		pt.pages++
+		return
 	}
+	n := pt.root
+	lastLevel := leafLevel(pte.Size)
 	for level := levelPML4; level < lastLevel; level++ {
 		idx := vaIndex(v, level)
 		c := n.child[idx]
@@ -85,7 +92,6 @@ func (pt *PageTable) Map(v mem.Addr, pte PTE) {
 	if n.leaf[idx].Valid {
 		panic("vm: double mapping")
 	}
-	pte.Valid = true
 	n.leaf[idx] = pte
 	pt.pages++
 }
@@ -105,6 +111,9 @@ type WalkResult struct {
 // Walk resolves v, returning the leaf PTE and the per-level entry addresses.
 // The boolean result is false when v is unmapped.
 func (pt *PageTable) Walk(v mem.Addr) (WalkResult, bool) {
+	if pt.flat != nil {
+		return pt.flat.walk(v)
+	}
 	var res WalkResult
 	n := pt.root
 	for level := levelPML4; level < numLevels; level++ {
@@ -125,6 +134,9 @@ func (pt *PageTable) Walk(v mem.Addr) (WalkResult, bool) {
 
 // Lookup resolves v without recording walk references.
 func (pt *PageTable) Lookup(v mem.Addr) (PTE, bool) {
+	if pt.flat != nil {
+		return pt.flat.lookup(v)
+	}
 	r, ok := pt.Walk(v)
 	return r.PTE, ok
 }

@@ -58,12 +58,11 @@ func (as *AddressSpace) PageTable() *PageTable { return as.pt }
 // Allocator exposes the underlying allocator (for page-usage statistics).
 func (as *AddressSpace) Allocator() *Allocator { return as.alloc }
 
-// ensureMapped installs a mapping for the page containing v if absent,
-// consulting the THP policy on the first touch of each 2MB virtual region.
-func (as *AddressSpace) ensureMapped(v mem.Addr) {
-	if _, ok := as.pt.Lookup(v); ok {
-		return
-	}
+// mapNew installs a mapping for the page containing v, which must be
+// unmapped, consulting the THP policy on the first touch of each 2MB virtual
+// region. Split out of ensureMapped so the translate fast paths probe the
+// page table exactly once on the hot (already-mapped) path.
+func (as *AddressSpace) mapNew(v mem.Addr) {
 	if gp, ok := as.policy.(GigaPolicy); ok {
 		gregion := mem.PageBase(v, mem.Page1G)
 		use, seen := as.decided1G[gregion]
@@ -91,11 +90,22 @@ func (as *AddressSpace) ensureMapped(v mem.Addr) {
 		PTE{Frame: as.alloc.Alloc4K(), Size: mem.Page4K, Valid: true})
 }
 
+// ensureMapped installs a mapping for the page containing v if absent.
+func (as *AddressSpace) ensureMapped(v mem.Addr) {
+	if _, ok := as.pt.Lookup(v); ok {
+		return
+	}
+	as.mapNew(v)
+}
+
 // Translate returns the translation for v, demand-populating the mapping.
 // It performs no timing; the MMU models TLB and walk latency separately.
 func (as *AddressSpace) Translate(v mem.Addr) Translation {
-	as.ensureMapped(v)
-	pte, _ := as.pt.Lookup(v)
+	pte, ok := as.pt.Lookup(v)
+	if !ok {
+		as.mapNew(v)
+		pte, _ = as.pt.Lookup(v)
+	}
 	off := v & (pte.Size.Bytes() - 1)
 	return Translation{PAddr: pte.Frame + off, Size: pte.Size}
 }
@@ -113,12 +123,15 @@ func (as *AddressSpace) LookupOnly(v mem.Addr) (Translation, bool) {
 }
 
 // WalkFor returns the walk references and translation for v, which must
-// already be mapped (Translate demand-populates).
+// already be mapped (Translate demand-populates). The walk itself doubles as
+// the residency probe: only a missing mapping pays the extra mapNew + rewalk.
 func (as *AddressSpace) WalkFor(v mem.Addr) (WalkResult, Translation) {
-	as.ensureMapped(v)
 	r, ok := as.pt.Walk(v)
 	if !ok {
-		panic("vm: walk of unmapped address")
+		as.mapNew(v)
+		if r, ok = as.pt.Walk(v); !ok {
+			panic("vm: walk of unmapped address")
+		}
 	}
 	off := v & (r.PTE.Size.Bytes() - 1)
 	return r, Translation{PAddr: r.PTE.Frame + off, Size: r.PTE.Size}

@@ -428,6 +428,77 @@ func TestWalkCacheAccounting(t *testing.T) {
 	}
 }
 
+// TestAddressSpace2MBPromotionUnderFragmentation: a heavily fragmented
+// small-frame pool must not break 2MB promotion. The huge region is separate
+// by construction, so a region the policy promotes still gets an aligned,
+// physically contiguous 2MB frame disjoint from every 4KB frame handed out.
+func TestAddressSpace2MBPromotionUnderFragmentation(t *testing.T) {
+	a := newTestAllocator()
+	// Fragment the 4KB pool first: thousands of scattered frames.
+	small := make(map[mem.Addr]bool)
+	for i := 0; i < 5000; i++ {
+		small[a.Alloc4K()] = true
+	}
+	as := NewAddressSpace(a, FractionTHP{Frac: 1})
+	base := mem.Addr(0x7f200000) // 2MB-aligned
+	tr := as.Translate(base)
+	if tr.Size != mem.Page2M {
+		t.Fatalf("promotion failed under fragmentation: size = %v", tr.Size)
+	}
+	frame := mem.PageBase(tr.PAddr, mem.Page2M)
+	if frame%mem.PageSize2M != 0 {
+		t.Errorf("promoted frame %#x not 2MB-aligned", frame)
+	}
+	for off := mem.Addr(0); off < mem.PageSize2M; off += mem.PageSize4K {
+		if tr2 := as.Translate(base + off); tr2.PAddr != tr.PAddr+off {
+			t.Fatalf("promoted region not contiguous at offset %#x", off)
+		}
+		if small[frame+off] {
+			t.Fatalf("promoted frame overlaps scattered 4KB frame %#x", frame+off)
+		}
+	}
+}
+
+// TestAddressSpace1GBStraddlingRegion: around a 1GB region boundary where only
+// the lower region is gigapage-backed, translations on each side use their own
+// page size, walk depth, and disjoint frames — virtual adjacency across the
+// boundary implies nothing physically.
+func TestAddressSpace1GBStraddlingRegion(t *testing.T) {
+	a := NewAllocator(8<<30, 17)
+	as := NewAddressSpace(a, gigaLow{FractionTHP{Frac: 0}})
+	boundary := mem.Addr(2) << 30 // end of the claimed region at 1<<30
+
+	lo := as.Translate(boundary - 8)
+	if lo.Size != mem.Page1G {
+		t.Fatalf("below-boundary size = %v, want 1GB", lo.Size)
+	}
+	hi := as.Translate(boundary)
+	if hi.Size != mem.Page4K {
+		t.Fatalf("above-boundary size = %v, want 4KB", hi.Size)
+	}
+	if hi.PAddr == lo.PAddr+8 {
+		t.Error("physically contiguous across a 1GB region boundary")
+	}
+	gbase := mem.PageBase(lo.PAddr, mem.Page1G)
+	if hi.PAddr >= gbase && hi.PAddr < gbase+mem.PageSize1G {
+		t.Errorf("4KB frame %#x landed inside the 1GB frame", hi.PAddr)
+	}
+	wlo, _ := as.WalkFor(boundary - 8)
+	whi, _ := as.WalkFor(boundary)
+	if wlo.Levels != 2 || whi.Levels != 4 {
+		t.Errorf("walk levels across boundary = %d/%d, want 2/4", wlo.Levels, whi.Levels)
+	}
+	// The 1GB side stays one contiguous frame right up to its last byte.
+	if end := as.Translate(boundary - mem.PageSize4K); end.PAddr != gbase+mem.PageSize1G-mem.PageSize4K {
+		t.Errorf("last 4KB of the 1GB page not contiguous: %#x", end.PAddr)
+	}
+}
+
+// gigaLow claims only the 1GB region starting at 1GB.
+type gigaLow struct{ FractionTHP }
+
+func (gigaLow) Use1GB(r mem.Addr) bool { return r == 1<<30 }
+
 func TestPageTablePagesCount(t *testing.T) {
 	a := newTestAllocator()
 	pt := NewPageTable(a)
