@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-seeds golden-update staticcheck e2e serve check bench bench-smoke
+.PHONY: build test race vet fuzz-seeds golden-update staticcheck e2e e2e-cluster serve check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ staticcheck:
 # cross-client dedup assertions.
 e2e:
 	$(GO) test -race -run 'TestE2E' -v ./internal/service/
+
+# e2e-cluster drives a 3-node in-process cluster: byte-identical figures vs
+# a local run, zero duplicate simulations cluster-wide (cross-node cache
+# fills), and survival of a node killed mid-batch.
+e2e-cluster:
+	$(GO) test -race -run 'TestE2ECluster' -v ./internal/service/
 
 # serve runs the simulation daemon on localhost:8080.
 serve:

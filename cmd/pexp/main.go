@@ -88,7 +88,7 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		server     = flag.String("server", "", "dispatch simulations to a psimd daemon at this base URL (e.g. http://localhost:8080)")
+		server     = flag.String("server", "", "dispatch simulations to psimd daemon(s): one base URL or a comma-separated cluster list (e.g. http://a:8080,http://b:8080)")
 
 		telemetryDir = flag.String("telemetry-dir", "", "write per-job telemetry series under this directory (e.g. results/telemetry); cache-hit and remote jobs emit none")
 		epochLen     = flag.Uint64("epoch", 0, "telemetry epoch length in instructions (default: the simulator's standard epoch)")
@@ -149,7 +149,13 @@ func run() int {
 	switch {
 	case *server != "":
 		// The daemon owns caching and cross-client dedup; no local store.
-		o.Remote = service.NewClient(*server)
+		// Several endpoints form a failover rotation over one cluster.
+		mc, err := service.NewMultiClient(service.ParseEndpoints(*server))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pexp:", err)
+			return 2
+		}
+		o.Remote = mc
 	case !*noCache:
 		store, err := simcache.New(*cacheDir)
 		if err != nil {

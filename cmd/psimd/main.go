@@ -10,8 +10,16 @@
 //	psimd -addr :9090 -par 16 -queue 128   # bigger box
 //	pexp -fig 8 -server http://localhost:8080
 //
+// Cluster mode gangs several daemons into one logical service: each
+// simulation key has a single owning node on a consistent-hash ring, cache
+// entries flow between nodes on demand, and idle nodes steal queued work:
+//
+//	psimd -addr :8080 -cluster -node-id a -peers b=http://h2:8080,c=http://h3:8080
+//	pexp -fig 8 -server http://h1:8080,http://h2:8080,http://h3:8080
+//
 // Endpoints: POST /v1/sims, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events
-// (SSE), DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text).
+// (SSE), DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text);
+// cluster mode adds the peer protocol under /v1/cluster/* and /v1/cache/*.
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, accepted jobs finish
 // (bounded by -drain), then the HTTP server shuts down.
@@ -26,11 +34,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"net/url"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/simcache"
 )
@@ -57,6 +68,11 @@ func run() int {
 		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0: none)")
 		drain    = flag.Duration("drain", 60*time.Second, "graceful-drain bound on SIGTERM before in-flight jobs are canceled")
 		noTel    = flag.Bool("no-telemetry", false, "disable live simulation telemetry (SSE job snapshots and psimd_live_* gauges)")
+
+		clustered = flag.Bool("cluster", false, "join a psimd cluster (requires the result cache)")
+		peers     = flag.String("peers", "", "comma-separated seed peers: id=http://host:port or bare URLs")
+		nodeID    = flag.String("node-id", "", "stable cluster identity (default: advertise URL's host:port)")
+		advertise = flag.String("advertise", "", "URL peers dial to reach this node (default: http://<addr>)")
 	)
 	flag.Parse()
 
@@ -74,6 +90,38 @@ func run() int {
 			log.Printf("warning: result cache disabled: %v", err)
 		} else {
 			cfg.Store = store
+		}
+	}
+
+	if *clustered {
+		if cfg.Store == nil {
+			log.Printf("psimd: -cluster requires the result cache (cross-node fills land there); remove -no-cache or fix -cache-dir")
+			return 1
+		}
+		seeds, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			log.Printf("psimd: %v", err)
+			return 1
+		}
+		adv := strings.TrimRight(*advertise, "/")
+		if adv == "" {
+			host := *addr
+			if strings.HasPrefix(host, ":") {
+				host = "localhost" + host
+			}
+			adv = "http://" + host
+		}
+		id := *nodeID
+		if id == "" {
+			if u, perr := url.Parse(adv); perr == nil && u.Host != "" {
+				id = u.Host
+			} else {
+				id = adv
+			}
+		}
+		cfg.Cluster = &cluster.Options{
+			Self:  cluster.NodeInfo{ID: id, URL: adv},
+			Seeds: seeds,
 		}
 	}
 
@@ -96,6 +144,9 @@ func run() int {
 	}
 	log.Printf("psimd listening on %s (workers=%d par=%d queue=%d cache=%s)",
 		*addr, *workers, *par, *queue, cacheNote)
+	if c := srv.Cluster(); c != nil {
+		log.Printf("%s: %d seed peer(s)", c, len(cfg.Cluster.Seeds))
+	}
 
 	select {
 	case err := <-errc:

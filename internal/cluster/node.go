@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a cluster node.
+type Options struct {
+	// Self identifies this node; Self.URL is the address peers dial.
+	Self NodeInfo
+	// Seeds is the static bootstrap peer list (self tolerated and ignored).
+	Seeds []NodeInfo
+	// VirtualNodes per member on the ring (DefaultVirtualNodes if <= 0).
+	VirtualNodes int
+	// HeartbeatInterval between gossip rounds (default 1s; < 0 disables the
+	// background loop — tests drive HeartbeatOnce directly).
+	HeartbeatInterval time.Duration
+	// FailThreshold is how many consecutive missed heartbeats rule a peer
+	// dead (default 3). Proxy failures kill immediately regardless.
+	FailThreshold int
+	// StealInterval between idle-node steal rounds (default 500ms; < 0
+	// disables the background loop — tests drive StealOnce directly).
+	StealInterval time.Duration
+	// StealTimeout bounds how long a victim waits for a thief's result
+	// before reclaiming the work and computing locally (default 60s).
+	StealTimeout time.Duration
+	// Transport defaults to a fresh Transport over http.DefaultClient.
+	Transport *Transport
+}
+
+func (o Options) withDefaults() Options {
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = DefaultVirtualNodes
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.StealInterval == 0 {
+		o.StealInterval = 500 * time.Millisecond
+	}
+	if o.StealTimeout <= 0 {
+		o.StealTimeout = 60 * time.Second
+	}
+	if o.Transport == nil {
+		o.Transport = &Transport{}
+	}
+	return o
+}
+
+// Hooks is how the owning subsystem (psimd's service layer) plugs storage
+// and execution into the cluster protocol. All hooks must be safe for
+// concurrent use; any may be nil, which disables the behavior it backs.
+type Hooks struct {
+	// FetchLocal returns the locally stored serialized entry for key, if
+	// present. Backs GET /v1/cache/{key}.
+	FetchLocal func(key string) ([]byte, bool)
+	// StoreEntry persists a serialized entry delivered by a peer (PUT
+	// /v1/cache/{key}, checksum already verified) and wakes any local
+	// waiter on that key. Backs cross-node cache fill and steal delivery.
+	StoreEntry func(key string, body []byte) error
+	// Execute runs one stolen work item locally and returns its serialized
+	// result. Backs the thief side of StealOnce.
+	Execute func(ctx context.Context, item StealItem) ([]byte, error)
+	// IdleSlots reports how many local execution slots are currently free;
+	// the steal loop only asks peers for work when it is positive.
+	IdleSlots func() int
+	// Draining reports whether the owning server has stopped accepting
+	// work; a draining node neither steals nor serves steal requests.
+	Draining func() bool
+}
+
+// Node is one member's cluster runtime: membership + routing + the steal
+// and heartbeat loops + the protocol's server side.
+type Node struct {
+	opts    Options
+	mem     *Membership
+	tr      *Transport
+	pending *PendingTable
+
+	// Cluster traffic counters (see StatsView / WriteMetrics).
+	remoteHits    atomic.Uint64 // results obtained from a peer (fetch or proxy hit)
+	proxiedSims   atomic.Uint64 // sims executed remotely on their owner
+	failovers     atomic.Uint64 // remote attempts abandoned for local execution
+	stolenByUs    atomic.Uint64 // items this node stole and completed
+	stolenFromUs  atomic.Uint64 // items peers claimed from this node
+	entriesServed atomic.Uint64 // cache entries served to peers
+	proxyLatency  histogram     // seconds per remote fetch/exec round-trip
+
+	loopCtx  context.Context
+	loopStop context.CancelFunc
+	wg       sync.WaitGroup
+	started  atomic.Bool
+
+	hooks Hooks
+}
+
+// NewNode builds a node from options and hooks; call Start to launch the
+// heartbeat and steal loops (tests may instead drive HeartbeatOnce and
+// StealOnce manually).
+func NewNode(opts Options, hooks Hooks) *Node {
+	opts = opts.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	return &Node{
+		opts:         opts,
+		mem:          NewMembership(opts.Self, opts.Seeds, opts.VirtualNodes),
+		tr:           opts.Transport,
+		pending:      NewPendingTable(),
+		proxyLatency: newLatencyHistogram(),
+		loopCtx:      ctx,
+		loopStop:     stop,
+		hooks:        hooks,
+	}
+}
+
+// Self returns this node's identity.
+func (n *Node) Self() NodeInfo { return n.mem.Self() }
+
+// Membership exposes the peer table (for state endpoints and tests).
+func (n *Node) Membership() *Membership { return n.mem }
+
+// Pending exposes the stealable-work table the service registers into.
+func (n *Node) Pending() *PendingTable { return n.pending }
+
+// StealTimeout is how long a victim should wait on a claimed key before
+// falling back to local execution.
+func (n *Node) StealTimeout() time.Duration { return n.opts.StealTimeout }
+
+// Owner resolves the key's owning member. self reports whether that is this
+// node (also true for an empty ring, so callers degrade to local execution).
+func (n *Node) Owner(key string) (info NodeInfo, self bool) {
+	id := n.mem.Ring().Owner(key)
+	if id == "" || id == n.mem.Self().ID {
+		return n.mem.Self(), true
+	}
+	info, ok := n.mem.Lookup(id)
+	if !ok {
+		return n.mem.Self(), true
+	}
+	return info, false
+}
+
+// ReportFailure records first-hand evidence that peer id is unreachable
+// (a failed proxy or fetch): the peer leaves the ring immediately and the
+// heartbeat loop takes over probing for its return.
+func (n *Node) ReportFailure(id string) {
+	n.mem.MarkFailure(id, 1)
+}
+
+// ObserveRemote folds one remote round-trip (cache fetch or proxied
+// execution) into the proxy latency histogram.
+func (n *Node) ObserveRemote(d time.Duration) { n.proxyLatency.observe(d.Seconds()) }
+
+// CountRemoteHit / CountProxied / CountFailover tick the routing counters;
+// the service's simulate path calls them as it routes.
+func (n *Node) CountRemoteHit() { n.remoteHits.Add(1) }
+func (n *Node) CountProxied()   { n.proxiedSims.Add(1) }
+func (n *Node) CountFailover()  { n.failovers.Add(1) }
+
+// Start launches the heartbeat and steal loops.
+func (n *Node) Start() {
+	if !n.started.CompareAndSwap(false, true) {
+		return
+	}
+	if n.opts.HeartbeatInterval > 0 {
+		n.wg.Add(1)
+		go n.loop(n.opts.HeartbeatInterval, n.HeartbeatOnce)
+	}
+	if n.opts.StealInterval > 0 && n.hooks.Execute != nil {
+		n.wg.Add(1)
+		go n.loop(n.opts.StealInterval, func(ctx context.Context) { n.StealOnce(ctx) })
+	}
+}
+
+// Close stops the background loops (in-flight exchanges are canceled).
+func (n *Node) Close() {
+	n.loopStop()
+	n.wg.Wait()
+}
+
+func (n *Node) loop(every time.Duration, fn func(context.Context)) {
+	defer n.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.loopCtx.Done():
+			return
+		case <-t.C:
+			fn(n.loopCtx)
+		}
+	}
+}
+
+// Leave announces departure: the node flags itself draining and pushes one
+// final heartbeat round so peers re-route without waiting to time it out.
+func (n *Node) Leave(ctx context.Context) {
+	n.mem.SetDraining(true)
+	n.HeartbeatOnce(ctx)
+}
+
+// HeartbeatOnce runs one gossip round: every known peer (dead ones
+// included, so a returning node is noticed) receives our identity, draining
+// state, and peer view, and their response is merged back.
+func (n *Node) HeartbeatOnce(ctx context.Context) {
+	req := HeartbeatRequest{
+		From:     n.mem.Self(),
+		Draining: n.draining(),
+		Peers:    n.mem.Peers(),
+	}
+	for _, p := range n.mem.Peers() {
+		hctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		resp, err := n.tr.Heartbeat(hctx, p.URL, req)
+		cancel()
+		if err != nil {
+			n.mem.MarkFailure(p.ID, n.opts.FailThreshold)
+			continue
+		}
+		n.mem.MarkAlive(p.ID, resp.Draining)
+		n.mem.Merge(resp.Peers)
+	}
+}
+
+func (n *Node) draining() bool {
+	if n.mem.Draining() {
+		return true
+	}
+	return n.hooks.Draining != nil && n.hooks.Draining()
+}
+
+// StealOnce runs one thief round: if this node has idle execution slots, it
+// asks alive peers (in ID order) for queued work, executes what it gets,
+// and delivers the results back to the victims. It returns how many items
+// it completed.
+func (n *Node) StealOnce(ctx context.Context) int {
+	if n.hooks.Execute == nil || n.draining() {
+		return 0
+	}
+	idle := 1
+	if n.hooks.IdleSlots != nil {
+		idle = n.hooks.IdleSlots()
+	}
+	if idle <= 0 {
+		return 0
+	}
+	completed := 0
+	for _, p := range n.mem.AlivePeers() {
+		if idle <= 0 {
+			break
+		}
+		resp, err := n.tr.Steal(ctx, p.URL, StealRequest{Thief: n.mem.Self(), Max: idle})
+		if err != nil {
+			n.mem.MarkFailure(p.ID, n.opts.FailThreshold)
+			continue
+		}
+		var wg sync.WaitGroup
+		var done atomic.Uint64
+		for _, item := range resp.Items {
+			idle--
+			wg.Add(1)
+			go func(item StealItem) {
+				defer wg.Done()
+				body, err := n.hooks.Execute(ctx, item)
+				if err != nil {
+					return // the victim's steal timeout reclaims the key
+				}
+				if err := n.tr.DeliverEntry(ctx, p.URL, item.Key, body); err != nil {
+					return
+				}
+				done.Add(1)
+			}(item)
+		}
+		wg.Wait()
+		n.stolenByUs.Add(done.Load())
+		completed += int(done.Load())
+	}
+	return completed
+}
+
+// Handler serves the cluster protocol: heartbeat, steal, state, and the
+// cache entry transfer endpoints. The owning server mounts it alongside its
+// own API.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathHeartbeat, n.handleHeartbeat)
+	mux.HandleFunc("POST "+PathSteal, n.handleSteal)
+	mux.HandleFunc("GET "+PathState, n.handleState)
+	mux.HandleFunc("GET "+PathCache+"{key}", n.handleCacheGet)
+	mux.HandleFunc("PUT "+PathCache+"{key}", n.handleCachePut)
+	return mux
+}
+
+func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad heartbeat: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The sender just proved itself alive first-hand; fold it and its view in.
+	if req.From.ID != "" {
+		n.mem.Merge([]PeerState{{NodeInfo: req.From, Alive: true, Draining: req.Draining}})
+		n.mem.MarkAlive(req.From.ID, req.Draining)
+	}
+	n.mem.Merge(req.Peers)
+	writeJSON(w, HeartbeatResponse{
+		From:     n.mem.Self(),
+		Draining: n.draining(),
+		Peers:    n.mem.Peers(),
+	})
+}
+
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req StealRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad steal request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// A draining victim still hands work away — that is exactly how its
+	// backlog drains fastest; only thieving stops while draining.
+	items := n.pending.Claim(req.Max)
+	n.stolenFromUs.Add(uint64(len(items)))
+	writeJSON(w, StealResponse{Items: items})
+}
+
+func (n *Node) handleState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, StateView{
+		Self:      n.mem.Self(),
+		Draining:  n.draining(),
+		RingNodes: n.mem.Ring().Members(),
+		Peers:     n.mem.Peers(),
+		Stats: StatsView{
+			RemoteHits:    n.remoteHits.Load(),
+			ProxiedSims:   n.proxiedSims.Load(),
+			Failovers:     n.failovers.Load(),
+			StolenByUs:    n.stolenByUs.Load(),
+			StolenFromUs:  n.stolenFromUs.Load(),
+			EntriesServed: n.entriesServed.Load(),
+		},
+	})
+}
+
+func (n *Node) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if n.hooks.FetchLocal == nil {
+		http.Error(w, "no local store", http.StatusNotFound)
+		return
+	}
+	body, ok := n.hooks.FetchLocal(key)
+	if !ok {
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	n.entriesServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(ChecksumHeader, Checksum(body))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (n *Node) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if n.hooks.StoreEntry == nil {
+		http.Error(w, "no local store", http.StatusNotImplemented)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if want := r.Header.Get(ChecksumHeader); want != "" && want != Checksum(body) {
+		http.Error(w, "checksum mismatch", http.StatusBadRequest)
+		return
+	}
+	if err := n.hooks.StoreEntry(key, body); err != nil {
+		http.Error(w, "store: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() StatsView {
+	return StatsView{
+		RemoteHits:    n.remoteHits.Load(),
+		ProxiedSims:   n.proxiedSims.Load(),
+		Failovers:     n.failovers.Load(),
+		StolenByUs:    n.stolenByUs.Load(),
+		StolenFromUs:  n.stolenFromUs.Load(),
+		EntriesServed: n.entriesServed.Load(),
+	}
+}
+
+// FetchRemote retrieves (and checksum-verifies) key's entry from the peer at
+// base, accounting the round-trip.
+func (n *Node) FetchRemote(ctx context.Context, base, key string) ([]byte, bool, error) {
+	start := time.Now()
+	body, ok, err := n.tr.FetchEntry(ctx, base, key)
+	n.ObserveRemote(time.Since(start))
+	return body, ok, err
+}
+
+// String renders a short identity for logs.
+func (n *Node) String() string {
+	return fmt.Sprintf("cluster node %s (%s)", n.mem.Self().ID, strings.TrimRight(n.mem.Self().URL, "/"))
+}

@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// ParsePeers decodes a -peers flag: comma-separated entries, each either
+// "id=http://host:port" or a bare URL (the node ID then defaults to the URL's
+// host:port). IDs are ring identities, so every member must use the same ID
+// for a given node that its own -node-id declares.
+func ParsePeers(s string) ([]NodeInfo, error) {
+	var out []NodeInfo
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, raw, found := strings.Cut(entry, "=")
+		if !found {
+			raw, id = entry, ""
+		}
+		raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=http://host:port or a full URL", entry)
+		}
+		if id = strings.TrimSpace(id); id == "" {
+			id = u.Host
+		}
+		out = append(out, NodeInfo{ID: id, URL: raw})
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// PendingTable is the victim side of work stealing: simulations that are
+// admitted but waiting for a local execution slot register here, where an
+// idle peer's steal request can claim them. A claimed item is executed by
+// the thief, which delivers the serialized result back (PUT /v1/cache/{key});
+// Deliver then wakes every waiter registered under that key.
+//
+// The table is keyed by the content-addressed simulation key, so duplicate
+// waiters (the same sim queued twice in one batch, or across batches)
+// collapse into one stealable item — a thief computes the key once and all
+// waiters share the result, preserving the cluster-wide exactly-once
+// property.
+type PendingTable struct {
+	mu    sync.Mutex
+	items map[string]*pendingItem
+}
+
+type pendingItem struct {
+	payload json.RawMessage
+	claimed bool
+	result  []byte        // set before done is closed
+	done    chan struct{} // closed by Deliver; result is then readable
+	waiters int
+}
+
+// Pending is one waiter's handle on a registered key.
+type Pending struct {
+	t   *PendingTable
+	key string
+	it  *pendingItem
+}
+
+// NewPendingTable builds an empty table.
+func NewPendingTable() *PendingTable {
+	return &PendingTable{items: map[string]*pendingItem{}}
+}
+
+// Register announces that the caller is about to wait for a local slot to
+// execute key, exposing it (with its opaque execution payload) to thieves.
+// Duplicate keys share one item.
+func (t *PendingTable) Register(key string, payload json.RawMessage) *Pending {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	it, ok := t.items[key]
+	if !ok {
+		it = &pendingItem{payload: payload, done: make(chan struct{})}
+		t.items[key] = it
+	}
+	it.waiters++
+	return &Pending{t: t, key: key, it: it}
+}
+
+// Len reports how many unclaimed keys are currently stealable.
+func (t *PendingTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, it := range t.items {
+		if !it.claimed {
+			n++
+		}
+	}
+	return n
+}
+
+// Claim hands over up to maxItems unclaimed keys to a thief, marking them
+// claimed so a second thief (or the local fallback) does not duplicate the
+// work while the first is computing.
+func (t *PendingTable) Claim(maxItems int) []StealItem {
+	if maxItems <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []StealItem
+	for key, it := range t.items {
+		if it.claimed {
+			continue
+		}
+		it.claimed = true
+		out = append(out, StealItem{Key: key, Payload: it.payload})
+		if len(out) >= maxItems {
+			break
+		}
+	}
+	return out
+}
+
+// Deliver completes a claimed key with its serialized result, waking every
+// waiter. It reports whether anyone was waiting (false for a stale delivery
+// — e.g. the waiters timed out and fell back to computing locally).
+func (t *PendingTable) Deliver(key string, result []byte) bool {
+	t.mu.Lock()
+	it, ok := t.items[key]
+	if ok {
+		delete(t.items, key)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return false
+	}
+	it.result = result // happens-before the close, so every waiter sees it
+	close(it.done)
+	return true
+}
+
+// Withdraw removes this waiter's interest because it got a local execution
+// slot. It returns true when the caller should proceed to execute locally;
+// false when a thief already claimed the key (or a result already landed) —
+// the caller must then wait for the stolen result instead of duplicating
+// the computation.
+func (p *Pending) Withdraw() bool {
+	p.t.mu.Lock()
+	defer p.t.mu.Unlock()
+	it, ok := p.t.items[p.key]
+	if !ok || it != p.it {
+		// Already delivered or superseded: the result is (or will be) in
+		// p.it.done / the local store.
+		return false
+	}
+	if it.claimed {
+		return false
+	}
+	it.waiters--
+	if it.waiters <= 0 {
+		delete(p.t.items, p.key)
+	}
+	return true
+}
+
+// Abandon drops this waiter's interest entirely (typically because its
+// context died). The entry is removed once no waiters remain — claimed or
+// not — so a late thief delivery is dropped instead of waking nobody, while
+// other live waiters keep their claim on the result.
+func (p *Pending) Abandon() {
+	p.t.mu.Lock()
+	defer p.t.mu.Unlock()
+	it, ok := p.t.items[p.key]
+	if !ok || it != p.it {
+		return
+	}
+	it.waiters--
+	if it.waiters <= 0 {
+		delete(p.t.items, p.key)
+	}
+}
+
+// Done is closed once a thief delivers the key's result; Result is then
+// readable.
+func (p *Pending) Done() <-chan struct{} { return p.it.done }
+
+// Result returns the delivered serialized result; valid only after Done is
+// closed.
+func (p *Pending) Result() []byte { return p.it.result }
+
+// Wait blocks for the stolen result until timeout or ctx expiry. ok is
+// false on timeout/cancellation — the caller should compute locally (the
+// thief died or is too slow; a late delivery is then dropped harmlessly by
+// Deliver).
+func (p *Pending) Wait(ctx context.Context, timeout time.Duration) (result []byte, ok bool) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		timer = tm.C
+	}
+	select {
+	case <-p.it.done:
+		return p.it.result, true
+	case <-timer:
+	case <-ctx.Done():
+	}
+	// Give up: drop this waiter so a late delivery with no waiters left is
+	// ignored rather than waking nobody.
+	p.Abandon()
+	// A delivery may have raced the timeout; prefer it over recomputing.
+	select {
+	case <-p.it.done:
+		return p.it.result, true
+	default:
+	}
+	return nil, false
+}

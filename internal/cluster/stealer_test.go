@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPendingClaimDeliver(t *testing.T) {
+	tb := NewPendingTable()
+	p := tb.Register("k1", []byte(`{"x":1}`))
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	items := tb.Claim(8)
+	if len(items) != 1 || items[0].Key != "k1" || string(items[0].Payload) != `{"x":1}` {
+		t.Fatalf("Claim = %+v", items)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("claimed item still counted stealable: Len = %d", tb.Len())
+	}
+	if tb.Claim(8) != nil {
+		t.Fatal("double claim handed the same work out twice")
+	}
+	if !tb.Deliver("k1", []byte("result")) {
+		t.Fatal("Deliver found no waiter")
+	}
+	select {
+	case <-p.Done():
+	default:
+		t.Fatal("Done not closed after Deliver")
+	}
+	if string(p.Result()) != "result" {
+		t.Fatalf("Result = %q", p.Result())
+	}
+	if tb.Deliver("k1", []byte("late")) {
+		t.Fatal("stale re-delivery claimed to find waiters")
+	}
+}
+
+// TestPendingDuplicateWaiters: the same key registered twice is one
+// stealable item, and one delivery wakes every waiter with the same bytes —
+// the in-cluster form of the cache's single-flight dedup.
+func TestPendingDuplicateWaiters(t *testing.T) {
+	tb := NewPendingTable()
+	p1 := tb.Register("k", []byte("{}"))
+	p2 := tb.Register("k", []byte("{}"))
+	if tb.Len() != 1 {
+		t.Fatalf("duplicate key counted twice: Len = %d", tb.Len())
+	}
+	if items := tb.Claim(8); len(items) != 1 {
+		t.Fatalf("Claim = %d items, want 1", len(items))
+	}
+	var wg sync.WaitGroup
+	for _, p := range []*Pending{p1, p2} {
+		wg.Add(1)
+		go func(p *Pending) {
+			defer wg.Done()
+			body, ok := p.Wait(context.Background(), time.Second)
+			if !ok || string(body) != "shared" {
+				t.Errorf("Wait = %q, %v", body, ok)
+			}
+		}(p)
+	}
+	time.Sleep(10 * time.Millisecond)
+	tb.Deliver("k", []byte("shared"))
+	wg.Wait()
+}
+
+// TestPendingWithdraw: a waiter that gets a local slot first takes the work
+// back (the steal never happened); one that lost the race to a thief must
+// wait instead of duplicating the computation.
+func TestPendingWithdraw(t *testing.T) {
+	tb := NewPendingTable()
+	p := tb.Register("k", []byte("{}"))
+	if !p.Withdraw() {
+		t.Fatal("unclaimed Withdraw refused")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("withdrawn key still stealable")
+	}
+
+	p = tb.Register("k2", []byte("{}"))
+	tb.Claim(1)
+	if p.Withdraw() {
+		t.Fatal("Withdraw succeeded on a claimed key — the sim would run twice")
+	}
+}
+
+// TestPendingWaitTimeout: a dead thief must not wedge the victim — Wait
+// gives up after the steal timeout and the key's late delivery is dropped.
+func TestPendingWaitTimeout(t *testing.T) {
+	tb := NewPendingTable()
+	p := tb.Register("k", []byte("{}"))
+	tb.Claim(1)
+	start := time.Now()
+	if _, ok := p.Wait(context.Background(), 20*time.Millisecond); ok {
+		t.Fatal("Wait reported a result nobody delivered")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait ignored its timeout")
+	}
+	if tb.Deliver("k", []byte("late")) {
+		t.Fatal("delivery after timeout found a waiter")
+	}
+}
+
+// TestPendingAbandonKeepsOtherWaiters: one waiter's context death must not
+// tear down a delivery another live waiter is depending on.
+func TestPendingAbandonKeepsOtherWaiters(t *testing.T) {
+	tb := NewPendingTable()
+	p1 := tb.Register("k", []byte("{}"))
+	p2 := tb.Register("k", []byte("{}"))
+	tb.Claim(1)
+	p1.Abandon()
+	if !tb.Deliver("k", []byte("res")) {
+		t.Fatal("delivery dropped though a live waiter remains")
+	}
+	if body, ok := p2.Wait(context.Background(), time.Second); !ok || string(body) != "res" {
+		t.Fatalf("surviving waiter got %q, %v", body, ok)
+	}
+
+	// With every waiter gone the entry disappears and delivery is stale.
+	p3 := tb.Register("k2", []byte("{}"))
+	tb.Claim(1)
+	p3.Abandon()
+	if tb.Deliver("k2", []byte("res")) {
+		t.Fatal("delivery to fully abandoned key found waiters")
+	}
+}

@@ -5,9 +5,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -27,6 +31,9 @@ type Client struct {
 	// HTTPClient defaults to a client without timeout (jobs are
 	// long-running; cancellation comes from the context).
 	HTTPClient *http.Client
+	// Backoff governs transient-failure retries in Submit. The zero value
+	// uses the defaults.
+	Backoff Backoff
 }
 
 // NewClient builds a client for the daemon at base.
@@ -41,57 +48,174 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{}
 }
 
+// httpStatusError is a non-2xx response, typed so retry policy can
+// distinguish transient statuses (429, 5xx) from terminal ones (4xx).
+type httpStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *httpStatusError) Error() string { return e.msg }
+
+// errStreamEnded marks an event stream that closed without a terminal event —
+// the serving daemon died mid-job, so the work is retryable elsewhere.
+var errStreamEnded = errors.New("psimd: event stream ended before job finished")
+
+// transientErr reports whether err is worth retrying: connection-level
+// failures, daemon-side 5xx/429, or a stream that died mid-job. Context
+// expiry and application errors (4xx) are terminal.
+func transientErr(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.status == http.StatusTooManyRequests || he.status >= 500
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true // dial failure: endpoint unreachable
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true // read/stream failure: endpoint died mid-response
+	}
+	return errors.Is(err, errStreamEnded) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+// Backoff is a jittered exponential retry schedule: attempt n waits
+// Base·2ⁿ capped at Max, then jittered to 50–100% of that to decorrelate
+// clients hammering a recovering daemon.
+type Backoff struct {
+	// Base is the first retry's nominal delay. Default 100ms.
+	Base time.Duration
+	// Max caps the exponential growth. Default 5s.
+	Max time.Duration
+	// Retries bounds transient-failure retries per call (backpressure 429s
+	// with a Retry-After hint are waited out without consuming retries —
+	// the daemon is healthy, just busy). Default 4.
+	Retries int
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 100 * time.Millisecond
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 5 * time.Second
+}
+
+func (b Backoff) retries() int {
+	if b.Retries > 0 {
+		return b.Retries
+	}
+	return 4
+}
+
+// delay computes the jittered wait before retry number attempt (0-based).
+func (b Backoff) delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := b.base() << uint(attempt)
+	if d <= 0 || d > b.max() {
+		d = b.max()
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// sleep waits the attempt's delay (or explicit, when the server supplied a
+// Retry-After hint), bounded by ctx.
+func (b Backoff) sleep(ctx context.Context, attempt int, explicit time.Duration) error {
+	wait := b.delay(attempt)
+	if explicit > 0 {
+		wait = explicit
+	}
+	select {
+	case <-time.After(wait):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // decodeError extracts the server's JSON error message.
 func decodeError(resp *http.Response) error {
 	var e apiError
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("psimd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		return &httpStatusError{resp.StatusCode, fmt.Sprintf("psimd: %s (HTTP %d)", e.Error, resp.StatusCode)}
 	}
-	return fmt.Errorf("psimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	return &httpStatusError{resp.StatusCode, fmt.Sprintf("psimd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))}
 }
 
-// Submit posts one batch, retrying while the daemon applies backpressure:
-// a 429 is waited out for its Retry-After hint (bounded by ctx), then
-// resubmitted.
+// Submit posts one batch, absorbing two kinds of trouble: backpressure
+// (429 with a Retry-After hint is waited out and resubmitted, indefinitely —
+// bounded only by ctx) and transient failures (connection errors, 5xx, or
+// hint-less 429s retry with jittered exponential backoff up to
+// Backoff.Retries times).
 func (c *Client) Submit(ctx context.Context, req SimRequest) (JobView, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return JobView{}, err
 	}
+	failures := 0
 	for {
-		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sims", bytes.NewReader(body))
-		if err != nil {
+		v, retryAfter, err := c.trySubmit(ctx, body)
+		if err == nil {
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			return JobView{}, ctx.Err()
+		}
+		if !transientErr(err) {
 			return JobView{}, err
 		}
-		hr.Header.Set("Content-Type", "application/json")
-		resp, err := c.httpClient().Do(hr)
-		if err != nil {
-			return JobView{}, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			wait := time.Second
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				wait = time.Duration(ra) * time.Second
-			}
-			resp.Body.Close()
-			select {
-			case <-time.After(wait):
-				continue
-			case <-ctx.Done():
-				return JobView{}, ctx.Err()
+		if retryAfter <= 0 {
+			// A real failure, not advertised backpressure: count it.
+			failures++
+			if failures > c.Backoff.retries() {
+				return JobView{}, err
 			}
 		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusAccepted {
-			return JobView{}, decodeError(resp)
+		if serr := c.Backoff.sleep(ctx, failures-1, retryAfter); serr != nil {
+			return JobView{}, serr
 		}
-		var v JobView
-		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-			return JobView{}, fmt.Errorf("psimd: decode submit response: %w", err)
-		}
-		return v, nil
 	}
+}
+
+// trySubmit performs one POST /v1/sims attempt. retryAfter is non-zero when
+// the daemon rejected with explicit backpressure advice.
+func (c *Client) trySubmit(ctx context.Context, body []byte) (v JobView, retryAfter time.Duration, err error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sims", bytes.NewReader(body))
+	if err != nil {
+		return JobView{}, 0, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return JobView{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if ra, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && ra > 0 {
+			retryAfter = time.Duration(ra) * time.Second
+		}
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return JobView{}, retryAfter, decodeError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return JobView{}, 0, fmt.Errorf("psimd: decode submit response: %w", err)
+	}
+	return v, 0, nil
 }
 
 // Job fetches a job's current view (including results once done).
@@ -173,7 +297,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event)) error {
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("psimd: event stream: %w", err)
 	}
-	return fmt.Errorf("psimd: event stream ended before job finished")
+	return errStreamEnded
 }
 
 // Follow streams a job to completion — resubscribing with backoff if the
@@ -213,12 +337,9 @@ func (c *Client) Follow(ctx context.Context, id string, fn func(Event)) (JobView
 	}
 }
 
-// RunBatch implements experiments.BatchRunner: it ships the batch to the
-// daemon, mirrors its progress events into the local tracker, and returns
-// results in job order. Only catalogue workloads can run remotely — a
-// trace-file replay's identity is its contents, which the daemon does not
-// have.
-func (c *Client) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt, tr *progress.Tracker) ([]sim.Result, error) {
+// buildSimRequest converts an experiment batch into the wire form,
+// rejecting workloads that cannot run remotely.
+func buildSimRequest(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt) (SimRequest, error) {
 	req := SimRequest{Config: &cfg, Opt: opt, Jobs: make([]SimSpec, len(jobs))}
 	if d, ok := ctx.Deadline(); ok {
 		if ms := time.Until(d).Milliseconds(); ms > 0 {
@@ -227,7 +348,7 @@ func (c *Client) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiment
 	}
 	for i, j := range jobs {
 		if j.Workload.ContentID != "" {
-			return nil, fmt.Errorf("psimd: workload %q is content-addressed (a trace replay) and cannot run remotely", j.Workload.Name)
+			return SimRequest{}, fmt.Errorf("psimd: workload %q is content-addressed (a trace replay) and cannot run remotely", j.Workload.Name)
 		}
 		req.Jobs[i] = SimSpec{
 			Workload: j.Workload.Name,
@@ -236,20 +357,45 @@ func (c *Client) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiment
 			L1:       string(j.Spec.L1),
 		}
 	}
+	return req, nil
+}
+
+// batchProgress carries tracker state across failover attempts: a batch
+// resubmitted to a second endpoint restarts its Done count at zero, and the
+// high-water mark here keeps the local tracker monotonic (no double steps).
+type batchProgress struct {
+	done, hits int
+}
+
+// RunBatch implements experiments.BatchRunner: it ships the batch to the
+// daemon, mirrors its progress events into the local tracker, and returns
+// results in job order. Only catalogue workloads can run remotely — a
+// trace-file replay's identity is its contents, which the daemon does not
+// have.
+func (c *Client) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt, tr *progress.Tracker) ([]sim.Result, error) {
+	req, err := buildSimRequest(ctx, cfg, jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.runBatch(ctx, req, len(jobs), tr, &batchProgress{})
+}
+
+// runBatch submits req and follows it to completion, stepping tr through bp
+// so retried batches never double-count progress.
+func (c *Client) runBatch(ctx context.Context, req SimRequest, njobs int, tr *progress.Tracker, bp *batchProgress) ([]sim.Result, error) {
 	sub, err := c.Submit(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	prevDone, prevHits := 0, 0
 	step := func(e Event) {
-		if tr == nil || e.Done <= prevDone {
+		if tr == nil || e.Done <= bp.done {
 			return
 		}
-		hits := e.Hits - prevHits
-		for i := 0; i < e.Done-prevDone; i++ {
+		hits := e.Hits - bp.hits
+		for i := 0; i < e.Done-bp.done; i++ {
 			tr.Step(i < hits)
 		}
-		prevDone, prevHits = e.Done, e.Hits
+		bp.done, bp.hits = e.Done, e.Hits
 	}
 	final, err := c.Follow(ctx, sub.ID, step)
 	if err != nil {
@@ -263,8 +409,8 @@ func (c *Client) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiment
 	}
 	switch final.Status {
 	case StatusDone:
-		if len(final.Results) != len(jobs) {
-			return nil, fmt.Errorf("psimd: job %s returned %d results for %d jobs", final.ID, len(final.Results), len(jobs))
+		if len(final.Results) != njobs {
+			return nil, fmt.Errorf("psimd: job %s returned %d results for %d jobs", final.ID, len(final.Results), njobs)
 		}
 		return final.Results, nil
 	case StatusCanceled:

@@ -1,0 +1,335 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/simcache"
+)
+
+// Cluster mode turns N psimd nodes into one logical simulation service.
+// Every simulation already has a content address (the simcache SHA-256 key),
+// so a consistent-hash ring over those keys gives each one an owner node:
+// the single place it is computed and cached, which is what makes dedup
+// exactly-once *cluster-wide* rather than per-node. A non-owner serves a
+// request by checking its own store, then fetching the owner's cached entry
+// (checksum-verified), then asking the owner to compute (proxy) — and if the
+// owner is unreachable it fails over to computing locally, so a dead node
+// degrades throughput, never availability. Idle nodes steal queued work from
+// overloaded peers through the cluster.PendingTable the local execution path
+// registers into while waiting for a simulation slot.
+
+// simOutcome says how one simulation of a job was satisfied; it drives the
+// job's hit/executed counters and the daemon's metrics.
+type simOutcome uint8
+
+const (
+	// simExecutedLocal ran the simulation on this node.
+	simExecutedLocal simOutcome = iota
+	// simHitLocal was served by this node's store (disk or shared flight).
+	simHitLocal
+	// simHitRemote was served by a peer's cache with no new simulation.
+	simHitRemote
+	// simExecutedRemote was computed by a peer (proxied to the owner or
+	// stolen by an idle node) on this job's behalf.
+	simExecutedRemote
+)
+
+// hit reports whether the outcome avoided any new simulation.
+func (o simOutcome) hit() bool { return o == simHitLocal || o == simHitRemote }
+
+// clusterSimPayload is everything a peer needs to execute one simulation —
+// the opaque work-item payload of the steal protocol and the body of the
+// proxy endpoint.
+type clusterSimPayload struct {
+	Config sim.Config `json:"config"`
+	Spec   SimSpec    `json:"spec"`
+	Opt    sim.RunOpt `json:"opt"`
+}
+
+// clusterSimRequest is the body of POST /v1/cluster/sim: a non-owner asking
+// the owner to compute (or recall) one simulation.
+type clusterSimRequest struct {
+	clusterSimPayload
+	// TimeoutMS carries the requester's remaining deadline; 0 means none.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// clusterSimResponse returns the result and whether the owner served it
+// from cache (hit) or had to simulate.
+type clusterSimResponse struct {
+	Result sim.Result `json:"result"`
+	Hit    bool       `json:"hit"`
+}
+
+// payloadOf serializes a unit for the cluster wire.
+func payloadOf(cfg sim.Config, u unit, opt sim.RunOpt) clusterSimPayload {
+	return clusterSimPayload{
+		Config: cfg,
+		Spec: SimSpec{
+			Workload: u.w.Name,
+			Base:     u.spec.Base,
+			Variant:  u.spec.Variant.String(),
+			L1:       string(u.spec.L1),
+		},
+		Opt: opt,
+	}
+}
+
+// newClusterNode wires a cluster node to this server's store and execution
+// pool. Cluster mode requires a store: the ring routes over cache keys, and
+// cross-node fill needs somewhere to land.
+func (s *Server) newClusterNode(opts cluster.Options) *cluster.Node {
+	var n *cluster.Node
+	n = cluster.NewNode(opts, cluster.Hooks{
+		FetchLocal: func(key string) ([]byte, bool) {
+			return s.cfg.Store.GetRaw(key)
+		},
+		StoreEntry: func(key string, body []byte) error {
+			var res sim.Result
+			if err := json.Unmarshal(body, &res); err != nil {
+				return err
+			}
+			if err := s.cfg.Store.Put(key, res); err != nil {
+				return err
+			}
+			// Wake any local waiter whose work a thief just completed.
+			n.Pending().Deliver(key, body)
+			return nil
+		},
+		Execute: func(ctx context.Context, item cluster.StealItem) ([]byte, error) {
+			var pl clusterSimPayload
+			if err := json.Unmarshal(item.Payload, &pl); err != nil {
+				return nil, err
+			}
+			u, err := resolve(pl.Spec)
+			if err != nil {
+				return nil, err
+			}
+			res, _, err := s.execUnit(ctx, pl.Config, u, pl.Opt)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
+		},
+		IdleSlots: func() int { return cap(s.simSem) - len(s.simSem) },
+		Draining:  s.Draining,
+	})
+	return n
+}
+
+// Cluster returns the server's cluster node (nil when not clustered).
+func (s *Server) Cluster() *cluster.Node { return s.cluster }
+
+// simulate satisfies one simulation of a job, routing through the cluster
+// when one is configured: local cache, then the key's owner (its cache,
+// then proxied execution), then local execution as the failover of last
+// resort. Single-node servers go straight to local execution.
+func (s *Server) simulate(ctx context.Context, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, simOutcome, error) {
+	if s.cluster == nil || s.cfg.Store == nil {
+		res, hit, err := s.execUnit(ctx, cfg, u, opt)
+		return res, localOutcome(hit), err
+	}
+	key := simcache.Key(cfg, u.spec, u.w, opt)
+	// The local island first: it may hold the entry from an earlier fill.
+	if res, ok := s.cfg.Store.GetCounted(key); ok {
+		s.m.cacheHits.Add(1)
+		return res, simHitLocal, nil
+	}
+	if owner, self := s.cluster.Owner(key); !self {
+		if res, outcome, err, handled := s.remoteSimulate(ctx, owner, key, cfg, u, opt); handled {
+			return res, outcome, err
+		}
+		// The owner is unreachable: this node computes — availability over
+		// strict ownership. The heartbeat loop re-forms the ring around the
+		// failure for subsequent keys.
+		s.cluster.CountFailover()
+	}
+	return s.stealableSimulate(ctx, key, cfg, u, opt)
+}
+
+func localOutcome(hit bool) simOutcome {
+	if hit {
+		return simHitLocal
+	}
+	return simExecutedLocal
+}
+
+// remoteSimulate asks the owner for key: first a checksum-verified fetch of
+// its cached entry, then a proxied execution. handled is false when the
+// owner could not be reached (or answered unusably) and the caller should
+// fail over to local execution; a requester-side context error is returned
+// as handled, since retrying locally cannot outlive the caller's deadline.
+func (s *Server) remoteSimulate(ctx context.Context, owner cluster.NodeInfo, key string, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, simOutcome, error, bool) {
+	body, ok, err := s.cluster.FetchRemote(ctx, owner.URL, key)
+	if err == nil && ok {
+		var res sim.Result
+		if jerr := json.Unmarshal(body, &res); jerr == nil {
+			_ = s.cfg.Store.Put(key, res) // warm the local island for next time
+			s.cluster.CountRemoteHit()
+			s.m.cacheHits.Add(1)
+			return res, simHitRemote, nil, true
+		}
+		// Undecodable entry: fall through to a proxied execution.
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return sim.Result{}, simExecutedRemote, ctx.Err(), true
+		}
+		s.cluster.ReportFailure(owner.ID)
+		return sim.Result{}, 0, nil, false
+	}
+
+	req := clusterSimRequest{clusterSimPayload: payloadOf(cfg, u, opt)}
+	if d, dok := ctx.Deadline(); dok {
+		if ms := time.Until(d).Milliseconds(); ms > 0 {
+			req.TimeoutMS = ms
+		}
+	}
+	resp, err := s.proxyExec(ctx, owner.URL, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return sim.Result{}, simExecutedRemote, ctx.Err(), true
+		}
+		s.cluster.ReportFailure(owner.ID)
+		return sim.Result{}, 0, nil, false
+	}
+	_ = s.cfg.Store.Put(key, resp.Result)
+	if resp.Hit {
+		s.cluster.CountRemoteHit()
+		s.m.cacheHits.Add(1)
+		return resp.Result, simHitRemote, nil, true
+	}
+	s.cluster.CountProxied()
+	return resp.Result, simExecutedRemote, nil, true
+}
+
+// proxyExec round-trips POST /v1/cluster/sim on the owner, accounting the
+// latency in the cluster histogram.
+func (s *Server) proxyExec(ctx context.Context, base string, req clusterSimRequest) (clusterSimResponse, error) {
+	start := time.Now()
+	defer func() { s.cluster.ObserveRemote(time.Since(start)) }()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return clusterSimResponse{}, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/cluster/sim", bytes.NewReader(body))
+	if err != nil {
+		return clusterSimResponse{}, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		return clusterSimResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return clusterSimResponse{}, decodeError(resp)
+	}
+	var out clusterSimResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return clusterSimResponse{}, err
+	}
+	return out, nil
+}
+
+// stealableSimulate executes key locally, exposing it to idle peers while
+// it waits for a simulation slot. Whichever comes first wins: a free local
+// slot (the work is withdrawn from the steal table and runs here) or a
+// thief's delivered result (served as a remote execution). A thief that
+// claims the key and then dies is covered by the steal timeout, after which
+// this node computes after all.
+func (s *Server) stealableSimulate(ctx context.Context, key string, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, simOutcome, error) {
+	payload, err := json.Marshal(payloadOf(cfg, u, opt))
+	if err != nil {
+		res, hit, err := s.execUnit(ctx, cfg, u, opt)
+		return res, localOutcome(hit), err
+	}
+	p := s.cluster.Pending().Register(key, payload)
+	select {
+	case s.simSem <- struct{}{}:
+		if p.Withdraw() {
+			defer func() { <-s.simSem }()
+			res, hit, err := s.execHeld(ctx, cfg, u, opt)
+			return res, localOutcome(hit), err
+		}
+		// A thief claimed the key between registration and our slot: give
+		// the slot back and wait for the delivery instead of duplicating
+		// the simulation.
+		<-s.simSem
+		return s.awaitStolen(ctx, key, cfg, u, opt, p)
+	case <-p.Done():
+		return s.stolenResult(ctx, key, cfg, u, opt, p.Result())
+	case <-ctx.Done():
+		p.Abandon()
+		return sim.Result{}, simExecutedLocal, ctx.Err()
+	}
+}
+
+// awaitStolen waits out a claimed key, falling back to local execution if
+// the thief never delivers.
+func (s *Server) awaitStolen(ctx context.Context, key string, cfg sim.Config, u unit, opt sim.RunOpt, p *cluster.Pending) (sim.Result, simOutcome, error) {
+	if body, ok := p.Wait(ctx, s.cluster.StealTimeout()); ok {
+		return s.stolenResult(ctx, key, cfg, u, opt, body)
+	}
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, simExecutedLocal, err
+	}
+	res, hit, err := s.execUnit(ctx, cfg, u, opt)
+	return res, localOutcome(hit), err
+}
+
+// stolenResult decodes a thief's delivery; an undecodable body degrades to
+// local execution (whose store lookup will usually find the entry the
+// delivery hook already persisted).
+func (s *Server) stolenResult(ctx context.Context, key string, cfg sim.Config, u unit, opt sim.RunOpt, body []byte) (sim.Result, simOutcome, error) {
+	var res sim.Result
+	if body != nil && json.Unmarshal(body, &res) == nil {
+		return res, simExecutedRemote, nil
+	}
+	r, hit, err := s.execUnit(ctx, cfg, u, opt)
+	return r, localOutcome(hit), err
+}
+
+// handleClusterSim serves POST /v1/cluster/sim: the owner side of proxied
+// execution. It runs the simulation through the same store, single-flight,
+// and semaphore as local jobs, so proxied and local requests for one key
+// still cost one simulation.
+func (s *Server) handleClusterSim(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{"draining"})
+		return
+	}
+	var req clusterSimRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad cluster sim request: " + err.Error()})
+		return
+	}
+	if req.Opt.Instructions == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{"opt.Instructions must be positive"})
+		return
+	}
+	u, err := resolve(req.Spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, hit, err := s.execUnit(ctx, req.Config, u, req.Opt)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterSimResponse{Result: res, Hit: hit})
+}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func clusterMisses(nodes []*clusterNode) uint64 {
+	var n uint64
+	for _, cn := range nodes {
+		n += cn.store.Stats().Misses
+	}
+	return n
+}
+
+func clusterRemoteHits(nodes []*clusterNode) uint64 {
+	var n uint64
+	for _, cn := range nodes {
+		n += cn.srv.Cluster().Stats().RemoteHits
+	}
+	return n
+}
+
+// TestE2ECluster: a figure produced against a 3-node cluster is byte-identical
+// to the locally simulated figure, every unit is executed exactly once across
+// the whole cluster (owner routing), and a repeat run replays entirely from
+// the distributed cache — including warm cross-node fills for units the
+// serving node does not own.
+func TestE2ECluster(t *testing.T) {
+	nodes := startCluster(t, 3, nil, func(i int, cfg *Config) {
+		cfg.Workers = 4
+		cfg.SimParallelism = 8
+	})
+
+	ws, err := experiments.WorkloadsByName([]string{"milc", "soplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := experiments.DefaultOptions()
+	o.Warmup = 20_000
+	o.Instructions = 80_000
+	o.Parallelism = 4
+	o.Workloads = ws
+
+	// Ground truth: simulate locally, no cache, no cluster.
+	local, err := experiments.Figure8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	endpoints := make([]string, len(nodes))
+	for i, cn := range nodes {
+		endpoints[i] = cn.hs.URL
+	}
+	mc, err := NewMultiClient(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := o
+	remote.Remote = mc
+
+	first, err := experiments.Figure8(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Render() != local.Render() {
+		t.Fatalf("cluster figure differs from local:\n--- local ---\n%s--- cluster ---\n%s",
+			local.Render(), first.Render())
+	}
+	simulated := clusterMisses(nodes)
+	if simulated == 0 {
+		t.Fatal("first cluster run executed no simulations")
+	}
+
+	// A second run lands on the next endpoint in the rotation and must be
+	// served wholly from the distributed cache: zero additional executions
+	// anywhere, with the units this endpoint does not own arriving as
+	// checksum-verified cross-node fills.
+	second, err := experiments.Figure8(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Render() != local.Render() {
+		t.Fatal("second cluster run produced a different figure")
+	}
+	if got := clusterMisses(nodes); got != simulated {
+		t.Errorf("repeat run executed %d duplicate simulations", got-simulated)
+	}
+	if clusterRemoteHits(nodes) == 0 {
+		t.Error("repeat run on a different endpoint produced no warm cross-node hits")
+	}
+}
+
+// TestE2EClusterNodeFailure: a node that owns part of the figure dies in the
+// middle of a batch. Its work fails over to the node serving the client, and
+// the figure still comes out byte-identical — a dead node costs duplicated
+// work, never correctness or availability.
+func TestE2EClusterNodeFailure(t *testing.T) {
+	// Non-client nodes simulate slowly so the kill reliably lands mid-batch;
+	// slowSim is the real simulator plus a delay, so results are unchanged.
+	slowSim := func(ctx context.Context, cfg sim.Config, spec sim.PrefSpec, w trace.Workload, opt sim.RunOpt) (sim.Result, error) {
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		}
+		return sim.RunContext(ctx, cfg, spec, w, opt)
+	}
+	nodes := startCluster(t, 3, slowSim, func(i int, cfg *Config) {
+		cfg.Workers = 4
+		cfg.SimParallelism = 4
+	})
+
+	ws, err := experiments.WorkloadsByName([]string{"milc", "soplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := experiments.DefaultOptions()
+	o.Warmup = 20_000
+	o.Instructions = 80_000
+	o.Parallelism = 4
+	o.Workloads = ws
+
+	local, err := experiments.Figure8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The client talks only to node 0; nodes 1 and 2 receive proxied work.
+	mc, err := NewMultiClient([]string{nodes[0].hs.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := o
+	remote.Remote = mc
+
+	type out struct {
+		fig *experiments.Fig8Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		fig, err := experiments.Figure8(remote)
+		done <- out{fig, err}
+	}()
+
+	// Kill the first non-client node observed executing proxied work. The
+	// kill is abrupt — connections severed at the HTTP layer — while the
+	// Server object stays alive for orderly test cleanup.
+	victim := -1
+	deadline := time.After(60 * time.Second)
+poll:
+	for {
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i].execs.Load() > 0 {
+				victim = i
+				break poll
+			}
+		}
+		select {
+		case o := <-done:
+			// The batch outran the poll; nothing was mid-flight to kill,
+			// but parity must still hold.
+			if o.err != nil {
+				t.Fatal(o.err)
+			}
+			if o.fig.Render() != local.Render() {
+				t.Fatal("cluster figure differs from local")
+			}
+			t.Skip("batch completed before a proxied execution was observed; kill not exercised")
+		case <-deadline:
+			t.Fatal("no node ever received proxied work")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	nodes[victim].hs.CloseClientConnections()
+	nodes[victim].hs.Close()
+
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("batch did not survive node %d's death: %v", victim, o.err)
+		}
+		if o.fig.Render() != local.Render() {
+			t.Fatalf("post-failover figure differs from local:\n--- local ---\n%s--- cluster ---\n%s",
+				local.Render(), o.fig.Render())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("batch never completed after node %d was killed", victim)
+	}
+	if got := nodes[0].srv.Cluster().Stats().Failovers; got == 0 {
+		t.Error("client node recorded no failovers despite the owner dying mid-batch")
+	}
+}

@@ -134,4 +134,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP psimd_job_latency_seconds Recent job wall-clock latency quantiles.\n# TYPE psimd_job_latency_seconds gauge\n")
 	fmt.Fprintf(w, "psimd_job_latency_seconds{quantile=\"0.5\"} %.4f\n", q[0])
 	fmt.Fprintf(w, "psimd_job_latency_seconds{quantile=\"0.99\"} %.4f\n", q[1])
+
+	if s.cluster != nil {
+		s.cluster.WriteMetrics(w)
+	}
 }

@@ -36,35 +36,14 @@ func telemetryFixture() sim.Result {
 	return r
 }
 
-// TestMetricsExposition scrapes /metrics and asserts the whole body is valid
-// Prometheus text exposition: every family is announced with HELP and TYPE
-// lines before its samples, every sample belongs to the family most recently
-// announced, and every value parses as a float. It also pins the family set,
-// so adding a family without updating this list (or emitting one twice)
-// fails.
-func TestMetricsExposition(t *testing.T) {
-	_, hs, c := startServer(t, Config{Workers: 1}, fixedSim(telemetryFixture()))
-
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	v, err := c.Submit(ctx, testRequest(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := c.Follow(ctx, v.ID, nil); err != nil {
-		t.Fatal(err)
-	}
-
-	resp, err := http.Get(hs.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-
+// validateExposition asserts body is valid Prometheus text exposition: every
+// family is announced with HELP and TYPE lines before its samples, every
+// sample belongs to the family most recently announced (histogram families
+// accept the _bucket/_sum/_count sample suffixes, with le required on
+// _bucket), and every value parses as a float. It returns the families in
+// announcement order and each family's sample count.
+func validateExposition(t *testing.T, body string) ([]string, map[string]int) {
+	t.Helper()
 	var (
 		helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
 		typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
@@ -72,9 +51,10 @@ func TestMetricsExposition(t *testing.T) {
 	)
 	seen := map[string]int{} // family → sample count
 	var families []string
-	current := "" // family announced by the latest TYPE line
-	helped := ""  // family announced by the latest HELP line
-	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	current := ""     // family announced by the latest TYPE line
+	currentType := "" // its declared type
+	helped := ""      // family announced by the latest HELP line
+	sc := bufio.NewScanner(strings.NewReader(body))
 	for line := 1; sc.Scan(); line++ {
 		text := sc.Text()
 		switch {
@@ -97,7 +77,7 @@ func TestMetricsExposition(t *testing.T) {
 			if m[1] != helped {
 				t.Errorf("line %d: TYPE %s does not follow its HELP (last HELP: %s)", line, m[1], helped)
 			}
-			current = m[1]
+			current, currentType = m[1], m[2]
 			seen[current] = 0
 			families = append(families, current)
 		case strings.HasPrefix(text, "#"):
@@ -107,13 +87,29 @@ func TestMetricsExposition(t *testing.T) {
 			if m == nil {
 				t.Fatalf("line %d: malformed sample: %q", line, text)
 			}
-			if m[1] != current {
+			name := m[1]
+			if currentType == "histogram" {
+				// A histogram family's samples carry suffixed names.
+				switch name {
+				case current + "_sum", current + "_count":
+					name = current
+				case current + "_bucket":
+					if !strings.Contains(m[2], `le="`) {
+						t.Errorf("line %d: histogram bucket without le label: %q", line, text)
+					}
+					name = current
+				}
+			}
+			if name != current {
 				t.Errorf("line %d: sample %s outside its family block (current: %s)", line, m[1], current)
 			}
-			if _, err := strconv.ParseFloat(m[4], 64); err != nil {
+			if m[4] == "+Inf" || m[4] == "-Inf" || m[4] == "NaN" {
+				// Valid exposition values, but none of ours should produce them.
+				t.Errorf("line %d: non-finite value %q", line, m[4])
+			} else if _, err := strconv.ParseFloat(m[4], 64); err != nil {
 				t.Errorf("line %d: value %q is not a float: %v", line, m[4], err)
 			}
-			seen[m[1]]++
+			seen[name]++
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -124,24 +120,62 @@ func TestMetricsExposition(t *testing.T) {
 			t.Errorf("family %s has no samples", fam)
 		}
 	}
+	return families, seen
+}
 
-	want := []string{
-		"psimd_up", "psimd_queue_depth", "psimd_queue_capacity",
-		"psimd_jobs_inflight", "psimd_sims_inflight", "psimd_sim_parallelism",
-		"psimd_http_requests_total", "psimd_jobs_total",
-		"psimd_cache_hits_total", "psimd_cache_shared_total",
-		"psimd_cache_misses_total", "psimd_cache_hit_ratio",
-		"psimd_sims_executed_total",
-		"psimd_pf_issued_total", "psimd_pf_cross4k_total", "psimd_pf_cross4k_rate",
-		"psimd_live_sims", "psimd_live_ipc", "psimd_live_cross4k_rate",
-		"psimd_live_hit_ratio",
-		"psimd_uptime_seconds", "psimd_sims_per_second",
-		"psimd_job_latency_seconds",
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(families) != len(want) {
-		t.Errorf("exposed %d families, want %d", len(families), len(want))
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, fam := range want {
+	return string(body)
+}
+
+// baseFamilies is the pinned family set a standalone daemon exposes; adding a
+// family without updating this list (or emitting one twice) fails the
+// exposition tests.
+var baseFamilies = []string{
+	"psimd_up", "psimd_queue_depth", "psimd_queue_capacity",
+	"psimd_jobs_inflight", "psimd_sims_inflight", "psimd_sim_parallelism",
+	"psimd_http_requests_total", "psimd_jobs_total",
+	"psimd_cache_hits_total", "psimd_cache_shared_total",
+	"psimd_cache_misses_total", "psimd_cache_hit_ratio",
+	"psimd_sims_executed_total",
+	"psimd_pf_issued_total", "psimd_pf_cross4k_total", "psimd_pf_cross4k_rate",
+	"psimd_live_sims", "psimd_live_ipc", "psimd_live_cross4k_rate",
+	"psimd_live_hit_ratio",
+	"psimd_uptime_seconds", "psimd_sims_per_second",
+	"psimd_job_latency_seconds",
+}
+
+// TestMetricsExposition scrapes a standalone daemon's /metrics and asserts
+// the whole body is well-formed, with exactly the pinned family set.
+func TestMetricsExposition(t *testing.T) {
+	_, hs, c := startServer(t, Config{Workers: 1}, fixedSim(telemetryFixture()))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := c.Submit(ctx, testRequest(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Follow(ctx, v.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	body := scrapeMetrics(t, hs.URL)
+	families, seen := validateExposition(t, body)
+
+	if len(families) != len(baseFamilies) {
+		t.Errorf("exposed %d families, want %d", len(families), len(baseFamilies))
+	}
+	for _, fam := range baseFamilies {
 		if _, ok := seen[fam]; !ok {
 			t.Errorf("family %s missing from /metrics", fam)
 		}
@@ -154,14 +188,66 @@ func TestMetricsExposition(t *testing.T) {
 	}
 
 	// The stub results flow into the completed-sim prefetch counters.
-	metrics := string(body)
 	for _, wantLine := range []string{
 		"psimd_pf_issued_total 100",
 		"psimd_pf_cross4k_total 20",
 		"psimd_pf_cross4k_rate 0.2000",
 	} {
-		if !strings.Contains(metrics, wantLine) {
+		if !strings.Contains(body, wantLine) {
 			t.Errorf("/metrics missing %q", wantLine)
+		}
+	}
+}
+
+// TestMetricsExpositionClustered: a cluster-mode daemon appends the
+// psimd_cluster_* families — still one well-formed exposition — including a
+// proxy latency histogram populated by the proxied request this test sends
+// through a non-owning node.
+func TestMetricsExpositionClustered(t *testing.T) {
+	nodes := startCluster(t, 2, fixedSim(telemetryFixture()), nil)
+	req := testRequest(1)
+	_, owner := keyAndOwner(t, nodes, req)
+	other := 1 - owner
+	runOne(t, nodes[other].c, req) // cold on a non-owner: proxied to the owner
+
+	body := scrapeMetrics(t, nodes[other].hs.URL)
+	families, seen := validateExposition(t, body)
+
+	clusterFamilies := []string{
+		"psimd_cluster_peers", "psimd_cluster_ring_nodes", "psimd_cluster_stealable",
+		"psimd_cluster_remote_hits_total", "psimd_cluster_proxied_total",
+		"psimd_cluster_failovers_total", "psimd_cluster_entries_served_total",
+		"psimd_cluster_steals_total", "psimd_cluster_proxy_latency_seconds",
+	}
+	if want := len(baseFamilies) + len(clusterFamilies); len(families) != want {
+		t.Errorf("exposed %d families, want %d", len(families), want)
+	}
+	for _, fam := range clusterFamilies {
+		if _, ok := seen[fam]; !ok {
+			t.Errorf("family %s missing from clustered /metrics", fam)
+		}
+	}
+	if got := seen["psimd_cluster_peers"]; got != 2 {
+		t.Errorf("psimd_cluster_peers has %d samples, want 2 (alive/dead)", got)
+	}
+	if got := seen["psimd_cluster_steals_total"]; got != 2 {
+		t.Errorf("psimd_cluster_steals_total has %d samples, want 2 (thief/victim)", got)
+	}
+	// 13 bounded buckets + the +Inf bucket + _sum + _count.
+	if got := seen["psimd_cluster_proxy_latency_seconds"]; got != 16 {
+		t.Errorf("proxy latency histogram has %d samples, want 16", got)
+	}
+	for _, wantLine := range []string{
+		"psimd_cluster_proxied_total 1",
+		"psimd_cluster_ring_nodes 2",
+		`psimd_cluster_peers{state="alive"} 1`,
+		// A cold proxied request round-trips twice: the cache fetch that
+		// misses, then the proxied execution.
+		"psimd_cluster_proxy_latency_seconds_count 2",
+		`psimd_cluster_proxy_latency_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(body, wantLine) {
+			t.Errorf("clustered /metrics missing %q", wantLine)
 		}
 	}
 }

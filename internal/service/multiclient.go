@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/progress"
+	"repro/internal/sim"
+)
+
+// MultiClient fans pexp batches across several psimd endpoints — the client
+// side of cluster mode. Each batch is pinned to one endpoint (jobs are
+// in-memory daemon state, so a batch cannot migrate mid-flight), endpoints
+// are rotated batch-to-batch to spread load, and a batch whose endpoint dies
+// is resubmitted to the next endpoint in the rotation. The cluster's shared
+// content-addressed cache makes resubmission cheap: units the dead node
+// already finished were cached on their owning nodes and replay as hits.
+type MultiClient struct {
+	clients []*Client
+	next    atomic.Uint64
+	// Backoff paces retry cycles once every endpoint has been tried.
+	// The zero value uses the defaults.
+	Backoff Backoff
+}
+
+// ParseEndpoints splits a comma-separated -server value into cleaned base
+// URLs, dropping empties.
+func ParseEndpoints(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, strings.TrimRight(e, "/"))
+		}
+	}
+	return out
+}
+
+// NewMultiClient builds a client over one or more endpoints. Per-endpoint
+// submit retries are kept short (one transient retry) because failing over
+// to the next endpoint beats hammering a dead one.
+func NewMultiClient(endpoints []string) (*MultiClient, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("psimd: no endpoints")
+	}
+	m := &MultiClient{}
+	for _, e := range endpoints {
+		c := NewClient(e)
+		if len(endpoints) > 1 {
+			c.Backoff = Backoff{Retries: 1, Base: 50 * time.Millisecond, Max: time.Second}
+		}
+		m.clients = append(m.clients, c)
+	}
+	return m, nil
+}
+
+// Endpoints returns the configured base URLs.
+func (m *MultiClient) Endpoints() []string {
+	out := make([]string, len(m.clients))
+	for i, c := range m.clients {
+		out[i] = c.BaseURL
+	}
+	return out
+}
+
+// RunBatch implements experiments.BatchRunner with endpoint failover: the
+// batch goes to the next endpoint in the rotation; a transient failure
+// (endpoint unreachable, 5xx, job lost mid-flight) moves it to the following
+// endpoint. After a full cycle of failures the schedule backs off
+// exponentially before the next cycle, up to Backoff.Retries cycles.
+func (m *MultiClient) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt, tr *progress.Tracker) ([]sim.Result, error) {
+	req, err := buildSimRequest(ctx, cfg, jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	bp := &batchProgress{}
+	start := int(m.next.Add(1)-1) % len(m.clients)
+	attempts := len(m.clients) * (m.Backoff.retries() + 1)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		c := m.clients[(start+attempt)%len(m.clients)]
+		res, err := c.runBatch(ctx, req, len(jobs), tr, bp)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !transientErr(err) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt == attempts-1 {
+			break
+		}
+		// Within the first pass each endpoint is fresh — fail over
+		// immediately. Once the whole rotation has failed, back off before
+		// cycling again.
+		if cycle := (attempt + 1) / len(m.clients); cycle > 0 {
+			if serr := m.Backoff.sleep(ctx, cycle-1, 0); serr != nil {
+				return nil, serr
+			}
+		}
+	}
+	return nil, fmt.Errorf("psimd: batch failed on all %d endpoints: %w", len(m.clients), lastErr)
+}

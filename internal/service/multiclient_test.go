@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// testJobs builds n identical remote-runnable experiment jobs.
+func testJobs(t *testing.T, n int) []experiments.Job {
+	t.Helper()
+	ws, err := experiments.WorkloadsByName([]string{"milc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]experiments.Job, n)
+	for i := range jobs {
+		jobs[i] = experiments.Job{Workload: ws[0], Spec: sim.PrefSpec{Base: "spp"}}
+	}
+	return jobs
+}
+
+// flakyServer wraps a real daemon behind a handler that fails the first n
+// submissions with the given status before letting traffic through.
+func flakyServer(t *testing.T, n int32, status int, fn simFunc) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	s := New(Config{Workers: 1})
+	if fn != nil {
+		s.simFn = fn
+	}
+	s.Start()
+	t.Cleanup(s.Close)
+	inner := s.Handler()
+	var failed atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/sims") && failed.Load() < n {
+			failed.Add(1)
+			http.Error(w, "transient", status)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &failed
+}
+
+// TestSubmitRetriesTransient: a submission that hits transient 5xx answers is
+// retried with backoff and succeeds once the endpoint recovers.
+func TestSubmitRetriesTransient(t *testing.T) {
+	hs, failed := flakyServer(t, 2, http.StatusServiceUnavailable, fixedSim(telemetryFixture()))
+	c := NewClient(hs.URL)
+	c.Backoff = Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Retries: 4}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := c.Submit(ctx, testRequest(1))
+	if err != nil {
+		t.Fatalf("Submit after transient failures: %v", err)
+	}
+	if v.ID == "" {
+		t.Fatal("accepted job has no ID")
+	}
+	if got := failed.Load(); got != 2 {
+		t.Fatalf("flaky endpoint served %d failures, want 2", got)
+	}
+	final, err := c.Follow(ctx, v.ID, nil)
+	if err != nil || final.Status != StatusDone {
+		t.Fatalf("Follow = %+v, %v", final, err)
+	}
+}
+
+// TestSubmitTerminalNoRetry: a 4xx rejection (other than 429 backpressure) is
+// a caller error — retrying cannot fix it, so the client must not.
+func TestSubmitTerminalNoRetry(t *testing.T) {
+	var requests atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+	c.Backoff = Backoff{Base: time.Millisecond, Retries: 4}
+
+	if _, err := c.Submit(context.Background(), testRequest(1)); err == nil {
+		t.Fatal("Submit succeeded against a 400 endpoint")
+	}
+	if got := requests.Load(); got != 1 {
+		t.Fatalf("terminal 400 was retried: %d requests, want 1", got)
+	}
+}
+
+// TestMultiClientSkipsDeadEndpoint: with one endpoint refusing connections,
+// the batch fails over to the next endpoint in the rotation and completes.
+func TestMultiClientSkipsDeadEndpoint(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // nothing listens here any more
+
+	_, hs, _ := startServer(t, Config{Workers: 1}, fixedSim(telemetryFixture()))
+	m, err := NewMultiClient([]string{deadURL, hs.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Backoff = Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	res, err := m.RunBatch(ctx, sim.DefaultConfig(), testJobs(t, 2), sim.RunOpt{Warmup: 1, Instructions: 1, Seed: 1, Samples: 1}, nil)
+	if err != nil {
+		t.Fatalf("RunBatch with a dead first endpoint: %v", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+}
+
+// TestMultiClientNoEndpoints: an empty endpoint list is a configuration
+// error, reported at construction rather than first use.
+func TestMultiClientNoEndpoints(t *testing.T) {
+	if _, err := NewMultiClient(ParseEndpoints(" , ,")); err == nil {
+		t.Fatal("NewMultiClient accepted an empty endpoint list")
+	}
+	eps := ParseEndpoints("http://a:1/, http://b:2")
+	m, err := NewMultiClient(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2"}
+	got := m.Endpoints()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Endpoints = %v, want %v", got, want)
+	}
+}
+
+// TestMultiClientMidBatchFailover: the endpoint running a batch dies after
+// accepting it — its event stream cuts out mid-flight. The batch must be
+// resubmitted to the surviving endpoint and complete there.
+func TestMultiClientMidBatchFailover(t *testing.T) {
+	started := make(chan struct{}, 4)
+	gate := make(chan struct{})
+	defer close(gate)
+	// Endpoint A accepts the batch and wedges; it will be killed abruptly at
+	// the HTTP layer (the Server object stays alive for orderly cleanup).
+	sa := New(Config{Workers: 1})
+	sa.simFn = blockingSim(started, gate)
+	sa.Start()
+	t.Cleanup(sa.Close)
+	hsA := httptest.NewServer(sa.Handler())
+	killed := false
+	t.Cleanup(func() {
+		if !killed {
+			hsA.Close()
+		}
+	})
+
+	_, hsB, _ := startServer(t, Config{Workers: 1}, fixedSim(telemetryFixture()))
+
+	m, err := NewMultiClient([]string{hsA.URL, hsB.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Backoff = Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	type out struct {
+		res []sim.Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := m.RunBatch(ctx, sim.DefaultConfig(), testJobs(t, 2), sim.RunOpt{Warmup: 1, Instructions: 1, Seed: 1, Samples: 1}, nil)
+		done <- out{res, err}
+	}()
+
+	waitStarted(t, started) // A is mid-simulation with the client following it
+	hsA.CloseClientConnections()
+	hsA.Close()
+	killed = true
+
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("batch did not survive endpoint death: %v", o.err)
+		}
+		if len(o.res) != 2 {
+			t.Fatalf("got %d results, want 2", len(o.res))
+		}
+		for i, r := range o.res {
+			if r.IPC != telemetryFixture().IPC {
+				t.Fatalf("result %d = %+v, not from the surviving endpoint", i, r)
+			}
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("failover batch never completed")
+	}
+}

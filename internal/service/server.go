@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"repro/internal/cluster"
 )
 
 // decodeSimRequest parses a POST /v1/sims body. Factored out of the handler
@@ -29,6 +31,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		// Peer-facing endpoints: membership gossip, work stealing, the
+		// cross-node cache protocol, and owner-routed simulation.
+		ch := s.cluster.Handler()
+		mux.Handle("POST "+cluster.PathHeartbeat, ch)
+		mux.Handle("POST "+cluster.PathSteal, ch)
+		mux.Handle("GET "+cluster.PathState, ch)
+		mux.Handle("GET "+cluster.PathCache+"{key}", ch)
+		mux.Handle("PUT "+cluster.PathCache+"{key}", ch)
+		mux.HandleFunc("POST /v1/cluster/sim", s.handleClusterSim)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.m.httpRequests.Add(1)
 		mux.ServeHTTP(w, r)

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/simcache"
@@ -65,6 +66,12 @@ type Config struct {
 	// (results and cache keys are unaffected), so this only trades the small
 	// sampling overhead against visibility.
 	DisableTelemetry bool
+	// Cluster, when non-nil, joins this daemon to a psimd cluster: a
+	// consistent-hash ring over simcache keys routes each simulation to an
+	// owner node, peers serve each other's warm cache entries, and idle
+	// nodes steal queued work. Requires Store (the ring routes over cache
+	// keys); ignored without one.
+	Cluster *cluster.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -253,6 +260,10 @@ type Server struct {
 	wg sync.WaitGroup
 	m  metrics
 
+	// cluster is this daemon's membership in a multi-node deployment; nil
+	// when running single-node (see Config.Cluster).
+	cluster *cluster.Node
+
 	// live holds the collector of every currently executing instrumented
 	// simulation; /metrics averages their latest epochs into the
 	// psimd_live_* gauges.
@@ -267,7 +278,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		queue:   make(chan *jobState, cfg.QueueDepth),
 		simSem:  make(chan struct{}, cfg.SimParallelism),
@@ -278,13 +289,21 @@ func New(cfg Config) *Server {
 		m:       newMetrics(),
 		simFn:   sim.RunContext,
 	}
+	if cfg.Cluster != nil && cfg.Store != nil {
+		s.cluster = s.newClusterNode(*cfg.Cluster)
+	}
+	return s
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool (and, when clustered, the heartbeat and
+// steal loops).
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.cluster != nil {
+		s.cluster.Start()
 	}
 }
 
@@ -506,27 +525,19 @@ func (s *Server) runJob(j *jobState) {
 		wg.Add(1)
 		go func(i int, u unit) {
 			defer wg.Done()
-			select {
-			case s.simSem <- struct{}{}:
-			case <-ctx.Done():
-				errs[i] = ctx.Err()
-				return
-			}
-			defer func() { <-s.simSem }()
 			if errs[i] = ctx.Err(); errs[i] != nil {
 				return
 			}
-			var hit bool
-			results[i], hit, errs[i] = s.simulate(ctx, j.cfg, u, j.opt)
+			// simulate owns slot acquisition: routing decides whether this
+			// unit needs a local execution slot at all (a cluster peer may
+			// serve or compute it instead), and hit/executed accounting
+			// happens at the point the outcome is known.
+			var outcome simOutcome
+			results[i], outcome, errs[i] = s.simulate(ctx, j.cfg, u, j.opt)
 			if errs[i] == nil {
-				if hit {
-					s.m.cacheHits.Add(1)
-				} else {
-					s.m.simsExecuted.Add(1)
-				}
 				s.m.pfIssued.Add(results[i].Engine.Issued)
 				s.m.pfCross4K.Add(results[i].Engine.CrossedPage4K)
-				j.step(hit, results[i])
+				j.step(outcome.hit(), results[i])
 			}
 		}(i, u)
 	}
@@ -557,10 +568,28 @@ func (s *Server) runJob(j *jobState) {
 	}
 }
 
-// simulate runs (or recalls) one simulation through the shared store. Unless
+// execUnit runs (or recalls) one simulation locally: it takes a slot on the
+// shared semaphore, then goes through the store's single-flight DoContext.
+// It is the terminal execution path of every route — local jobs, proxied
+// owner requests, and stolen work all land here — and owns the
+// hit/executed metric accounting for this daemon.
+func (s *Server) execUnit(ctx context.Context, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, bool, error) {
+	select {
+	case s.simSem <- struct{}{}:
+	case <-ctx.Done():
+		return sim.Result{}, false, ctx.Err()
+	}
+	defer func() { <-s.simSem }()
+	return s.execHeld(ctx, cfg, u, opt)
+}
+
+// execHeld is execUnit for callers already holding a semaphore slot. Unless
 // telemetry is disabled, each executed simulation (cache hits never execute)
 // carries a live collector that /metrics samples while the run is in flight.
-func (s *Server) simulate(ctx context.Context, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, bool, error) {
+func (s *Server) execHeld(ctx context.Context, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, false, err
+	}
 	run := func(ctx context.Context) (sim.Result, error) {
 		if !s.cfg.DisableTelemetry {
 			col := telemetry.NewCollector()
@@ -572,9 +601,20 @@ func (s *Server) simulate(ctx context.Context, cfg sim.Config, u unit, opt sim.R
 	}
 	if s.cfg.Store == nil {
 		r, err := run(ctx)
+		if err == nil {
+			s.m.simsExecuted.Add(1)
+		}
 		return r, false, err
 	}
-	return s.cfg.Store.DoContext(ctx, simcache.Key(cfg, u.spec, u.w, opt), run)
+	res, hit, err := s.cfg.Store.DoContext(ctx, simcache.Key(cfg, u.spec, u.w, opt), run)
+	if err == nil {
+		if hit {
+			s.m.cacheHits.Add(1)
+		} else {
+			s.m.simsExecuted.Add(1)
+		}
+	}
+	return res, hit, err
 }
 
 func (s *Server) addLive(c *telemetry.Collector) {
@@ -646,6 +686,15 @@ func (s *Server) Drain(timeout time.Duration) error {
 	}
 	s.mu.Unlock()
 
+	if s.cluster != nil {
+		// Announce the departure so peers reroute new work immediately;
+		// already-accepted jobs below still complete (the cluster handler
+		// keeps serving cache fetches while we drain).
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		s.cluster.Leave(ctx)
+		cancel()
+	}
+
 	workersDone := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -657,14 +706,18 @@ func (s *Server) Drain(timeout time.Duration) error {
 		defer t.Stop()
 		timer = t.C
 	}
+	var err error
 	select {
 	case <-workersDone:
-		return nil
 	case <-timer:
 		s.stop() // cancel every job's context
 		<-workersDone
-		return fmt.Errorf("service: drain timed out after %s; in-flight jobs canceled", timeout)
+		err = fmt.Errorf("service: drain timed out after %s; in-flight jobs canceled", timeout)
 	}
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+	return err
 }
 
 // Close stops immediately: admission ends and every running job's context is
@@ -679,4 +732,7 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 }

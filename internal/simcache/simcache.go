@@ -182,6 +182,36 @@ func (s *Store) Get(key string) (sim.Result, bool) {
 	return res, true
 }
 
+// GetCounted is Get plus hit accounting: a successful load increments the
+// hit counter, matching what Do would have recorded. It exists for callers
+// that probe the cache directly (the cluster layer's local fast path) rather
+// than through Do.
+func (s *Store) GetCounted(key string) (sim.Result, bool) {
+	res, ok := s.Get(key)
+	if ok {
+		s.hits.Add(1)
+	}
+	return res, ok
+}
+
+// GetRaw loads the serialized entry for key, validating that it decodes as a
+// sim.Result (undecodable entries are removed, like Get). The raw bytes are
+// what the cross-node cache protocol ships: re-marshalling on every transfer
+// would burn CPU and could perturb byte-identical comparisons.
+func (s *Store) GetRaw(key string) ([]byte, bool) {
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var res sim.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		s.corrupt.Add(1)
+		os.Remove(s.path(key))
+		return nil, false
+	}
+	return b, true
+}
+
 // Put stores res under key atomically: the entry is written to a temp file
 // in the same directory and renamed into place, so concurrent writers of the
 // same key race benignly (identical content) and readers never see a partial
