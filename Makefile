@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-seeds golden-update staticcheck e2e e2e-cluster serve check bench bench-smoke
+.PHONY: build test race vet fuzz-seeds golden-update staticcheck e2e e2e-cluster serve check bench bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ fuzz-seeds:
 # BENCH_<date>.json (see cmd/pbench -h for comparing against a baseline).
 bench:
 	$(GO) run ./cmd/pbench
+
+# bench-compare runs the full pinned suite against the most recent committed
+# full-format BENCH_<date>.json and prints per-row and geomean deltas. It
+# never gates: throughput on shared machines is informational. The result is
+# written to BENCH_compare.json (untracked) so CI can archive it.
+bench-compare:
+	$(GO) run ./cmd/pbench -out BENCH_compare.json \
+		-compare "$$(ls BENCH_2*-*.json 2>/dev/null | grep -v _smoke | sort | tail -1)"
 
 # bench-smoke is the CI regression gate: a shortened run compared against the
 # committed smoke-format reference, failing when allocations per access

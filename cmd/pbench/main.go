@@ -20,12 +20,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
 	"time"
 
@@ -82,8 +86,14 @@ type Report struct {
 	Date   string `json:"date"`
 	GoOS   string `json:"goos"`
 	GoArch string `json:"goarch"`
-	CPUs   int    `json:"cpus"`
-	Smoke  bool   `json:"smoke,omitempty"`
+	// NumCPU is the machine's logical CPU count; GoMaxProcs is the
+	// scheduler's parallelism at measurement time. Schema 1 published a
+	// single "cpus" field that conflated the two, which made reports from
+	// GOMAXPROCS-limited CI runners look like single-core machines.
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Commit     string `json:"commit,omitempty"`
+	Smoke      bool   `json:"smoke,omitempty"`
 
 	Warmup       uint64 `json:"warmup"`
 	Instructions uint64 `json:"instructions"`
@@ -109,25 +119,42 @@ type BaselineDiff struct {
 	// AllocsRatio is new/old geomean allocs/access (<1 is fewer).
 	AllocsRatio float64 `json:"allocs_ratio"`
 	Compared    int     `json:"compared"`
+	// Rows holds the per-benchmark deltas over the shared set, in the
+	// current report's order.
+	Rows []RowDiff `json:"rows,omitempty"`
+}
+
+// RowDiff is one shared benchmark's old-vs-new delta.
+type RowDiff struct {
+	Name string `json:"name"`
+	// SpeedupAccessesPerSec is new/old accesses/s for this row.
+	SpeedupAccessesPerSec float64 `json:"speedup_accesses_per_sec"`
+	OldAccessesPerSec     float64 `json:"old_accesses_per_sec"`
+	NewAccessesPerSec     float64 `json:"new_accesses_per_sec"`
+	AllocsRatio           float64 `json:"allocs_ratio"`
 }
 
 func main() {
 	var (
-		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
-		smoke     = flag.Bool("smoke", false, "reduced set and short windows (CI gate)")
-		compare   = flag.String("compare", "", "previous BENCH_*.json to diff against")
-		maxAllocs = flag.Float64("max-allocs-ratio", 0, "fail when allocs/access geomean exceeds this ratio of -compare (0 disables)")
-		benchtime = flag.Duration("benchtime", time.Second, "minimum measurement time per benchmark")
+		out        = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		smoke      = flag.Bool("smoke", false, "reduced set and short windows (CI gate)")
+		compare    = flag.String("compare", "", "previous BENCH_*.json to diff against")
+		maxAllocs  = flag.Float64("max-allocs-ratio", 0, "fail when allocs/access geomean exceeds this ratio of -compare (0 disables)")
+		benchtime  = flag.Duration("benchtime", time.Second, "minimum measurement time per benchmark")
+		only       = flag.String("only", "", "run only benchmarks whose name contains this substring")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement runs to this file")
 	)
 	flag.Parse()
 
 	rep := Report{
-		Schema: 1,
-		Date:   time.Now().Format("2006-01-02"),
-		GoOS:   runtime.GOOS,
-		GoArch: runtime.GOARCH,
-		CPUs:   runtime.NumCPU(),
-		Smoke:  *smoke,
+		Schema:     2,
+		Date:       time.Now().Format("2006-01-02"),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Commit:     gitCommit(),
+		Smoke:      *smoke,
 	}
 	rep.Warmup, rep.Instructions = 50_000, 250_000
 	if *smoke {
@@ -136,15 +163,32 @@ func main() {
 	opt := sim.RunOpt{Warmup: rep.Warmup, Instructions: rep.Instructions, Seed: 1, Samples: 1}
 	cfg := sim.DefaultConfig()
 
+	stopProf := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		// main exits via os.Exit (defers never run): stop explicitly once
+		// the measurement loop is done.
+		stopProf = func() { pprof.StopCPUProfile(); f.Close() }
+	}
+
 	for _, p := range pins {
 		if *smoke && !p.Smoke {
+			continue
+		}
+		name := p.Workload + "/" + p.Spec.String()
+		if *only != "" && !strings.Contains(name, *only) {
 			continue
 		}
 		w, err := trace.ByName(p.Workload)
 		if err != nil {
 			fatalf("unknown pinned workload %q: %v", p.Workload, err)
 		}
-		name := p.Workload + "/" + p.Spec.String()
 		fmt.Fprintf(os.Stderr, "%-32s ", name)
 
 		// One deterministic run yields the per-iteration access count the
@@ -183,6 +227,11 @@ func main() {
 			b.AccessesPerSec/1e6, b.NsPerAccess, b.AllocsPerAccess)
 	}
 
+	stopProf()
+	if len(rep.Benchmarks) == 0 {
+		fatalf("no benchmarks selected (check -only / -smoke)")
+	}
+
 	rep.GeomeanAccessesPerSec = geomean(rep.Benchmarks, func(b Bench) float64 { return b.AccessesPerSec })
 	rep.GeomeanNsPerAccess = geomean(rep.Benchmarks, func(b Bench) float64 { return b.NsPerAccess })
 	rep.GeomeanAllocsPerAccess = geomean(rep.Benchmarks, func(b Bench) float64 { return b.AllocsPerAccess })
@@ -196,6 +245,11 @@ func main() {
 			fatalf("compare: %v", err)
 		}
 		rep.Baseline = diff
+		for _, r := range diff.Rows {
+			fmt.Fprintf(os.Stderr, "%-32s %10.2f -> %7.2f Macc/s  %+6.1f%%  allocs %.2fx\n",
+				r.Name, r.OldAccessesPerSec/1e6, r.NewAccessesPerSec/1e6,
+				(r.SpeedupAccessesPerSec-1)*100, r.AllocsRatio)
+		}
 		fmt.Fprintf(os.Stderr, "vs %s (%s, %d benchmarks): %.2fx accesses/s, %.2fx allocs/access\n",
 			diff.File, diff.Date, diff.Compared, diff.SpeedupAccessesPerSec, diff.AllocsRatio)
 		if *maxAllocs > 0 && diff.AllocsRatio > *maxAllocs {
@@ -289,13 +343,46 @@ func diffBaseline(path string, cur *Report) (*BaselineDiff, error) {
 	}
 	acc := func(b Bench) float64 { return b.AccessesPerSec }
 	alc := func(b Bench) float64 { return b.AllocsPerAccess }
-	return &BaselineDiff{
+	diff := &BaselineDiff{
 		File:                  path,
 		Date:                  old.Date,
 		SpeedupAccessesPerSec: geomean(curShared, acc) / geomean(oldShared, acc),
 		AllocsRatio:           geomean(curShared, alc) / geomean(oldShared, alc),
 		Compared:              len(curShared),
-	}, nil
+	}
+	for i, b := range curShared {
+		ob := oldShared[i]
+		ar := 1.0
+		if ob.AllocsPerAccess > 0 {
+			ar = b.AllocsPerAccess / ob.AllocsPerAccess
+		} else if b.AllocsPerAccess > 0 {
+			ar = math.Inf(1)
+		}
+		diff.Rows = append(diff.Rows, RowDiff{
+			Name:                  b.Name,
+			SpeedupAccessesPerSec: b.AccessesPerSec / ob.AccessesPerSec,
+			OldAccessesPerSec:     ob.AccessesPerSec,
+			NewAccessesPerSec:     b.AccessesPerSec,
+			AllocsRatio:           ar,
+		})
+	}
+	return diff, nil
+}
+
+// gitCommit returns the working tree's short commit hash ("" outside a git
+// checkout), with "+dirty" appended when tracked files are modified —
+// committed BENCH files then record exactly which code produced them.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(bytes.TrimSpace(st)) > 0 {
+		commit += "+dirty"
+	}
+	return commit
 }
 
 func fatalf(format string, args ...any) {

@@ -13,6 +13,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -153,6 +154,25 @@ type Observer interface {
 	OnPrefetchUnused(block mem.Addr, prefID uint8, core int)
 }
 
+// AccessSink is an optional Observer refinement: an observer whose OnAccess
+// is a no-op (a feedback-only observer, like the LLC's prefetch-outcome
+// router) returns false from WantsOnAccess, and the cache then skips the
+// per-access OnAccess dispatch entirely. A level with no OnAccess consumer is
+// also what arms the line-hit memo there. Observers without the method are
+// assumed to consume every access.
+type AccessSink interface{ WantsOnAccess() bool }
+
+// wantsOnAccess resolves an observer's OnAccess interest (nil: none).
+func wantsOnAccess(o Observer) bool {
+	if o == nil {
+		return false
+	}
+	if s, ok := o.(AccessSink); ok {
+		return s.WantsOnAccess()
+	}
+	return true
+}
+
 // NopObserver implements Observer with no-ops; embed it to implement a
 // subset of the interface.
 type NopObserver struct{}
@@ -207,9 +227,11 @@ type LifecycleObserver interface {
 }
 
 // tee fans observer callbacks out to several observers in order; lifecycle
-// events go to the children that implement LifecycleObserver.
+// events go to the children that implement LifecycleObserver, OnAccess to
+// the children that declared interest in it.
 type tee struct {
 	obs  []Observer
+	acc  []Observer
 	life []LifecycleObserver
 }
 
@@ -223,6 +245,9 @@ func Tee(os ...Observer) Observer {
 			continue
 		}
 		t.obs = append(t.obs, o)
+		if wantsOnAccess(o) {
+			t.acc = append(t.acc, o)
+		}
 		if lo, ok := o.(LifecycleObserver); ok {
 			t.life = append(t.life, lo)
 		}
@@ -236,9 +261,13 @@ func Tee(os ...Observer) Observer {
 	return t
 }
 
+// WantsOnAccess implements AccessSink: a tee consumes accesses only when one
+// of its children does.
+func (t *tee) WantsOnAccess() bool { return len(t.acc) > 0 }
+
 // OnAccess implements Observer.
 func (t *tee) OnAccess(info AccessInfo) {
-	for _, o := range t.obs {
+	for _, o := range t.acc {
 		o.OnAccess(info)
 	}
 }
@@ -317,8 +346,46 @@ type Cache struct {
 	// streams) resolve in a single compare.
 	mru []int32
 
-	next     mem.Port
-	observer Observer
+	// partial packs one hashed byte per way into uint64 words (partialWords
+	// words per set), so a probe rejects a whole set with one XOR and a SWAR
+	// zero-byte test and verifies only flagged candidate ways against the full
+	// tag array. Nil on the legacy (non-fused) path, which scans tags.
+	partial      []uint64
+	partialWords int
+
+	// setGen[s] counts every replacement-state mutation of set s (any touch
+	// or fill). The hit memo records the generation it was formed under; an
+	// unchanged generation proves nothing in the set moved since, so the
+	// memoed way, its recency, and the victim ordering are all still exact.
+	setGen []uint64
+	// memoBlock..memoReady are the line-grain hit memo (fused path, levels
+	// with no OnAccess consumer): a completed demand hit on a non-prefetched
+	// line records (block, set, way, generation), and while the generation
+	// holds, repeat accesses to the same block short-circuit the tag probe,
+	// the replacement update, and the observer dispatch. Skipping the LRU
+	// tick is exact: a valid memo proves the set untouched since formation,
+	// so the memoed way stays the set's unique most-recent way — and the
+	// victim scan only compares recencies within a set — whether or not the
+	// repeat hits bump it further.
+	memoBlock mem.Addr
+	memoSet   int
+	memoGI    int
+	memoGen   uint64
+	memoReady mem.Cycle
+
+	// fused records mem.FusedPath at construction (the toggle is
+	// construction-time, like vm.FlatVM).
+	fused bool
+
+	next mem.Port
+	// nextCache is the devirtualized next level, linked at construction when
+	// the fused path is on and next is itself a *Cache: the miss descent then
+	// runs through direct calls instead of interface dispatch.
+	nextCache *Cache
+	observer  Observer
+	// accObs is the observer iff it consumes OnAccess (see AccessSink);
+	// feedback-only observers leave it nil and the hot path skips dispatch.
+	accObs Observer
 	// life is the observer's LifecycleObserver facet, resolved once in
 	// SetObserver: the access path pays a nil check, never a type assertion.
 	life LifecycleObserver
@@ -344,15 +411,23 @@ func New(cfg Config, next mem.Port) *Cache {
 		lrus:     make([]uint64, cfg.Sets*cfg.Ways),
 		mshrFree: make([]mem.Cycle, cfg.MSHREntries),
 		mru:      make([]int32, cfg.Sets),
+		setGen:   make([]uint64, cfg.Sets),
 		next:     next,
+		fused:    mem.FusedPath,
 		rng:      uint64(len(cfg.Name))*0x9e3779b97f4a7c15 + 1,
 	}
 	for i := range c.tags {
 		c.tags[i] = tagInvalid
 	}
 	c.lastMissBlock = tagInvalid
+	c.memoBlock = tagInvalid
 	if cfg.Sets&(cfg.Sets-1) == 0 {
 		c.setMask = mem.Addr(cfg.Sets - 1)
+	}
+	if c.fused {
+		c.partialWords = (cfg.Ways + 7) / 8
+		c.partial = make([]uint64, cfg.Sets*c.partialWords)
+		c.nextCache, _ = next.(*Cache)
 	}
 	return c
 }
@@ -366,6 +441,10 @@ const tagInvalid = ^mem.Addr(0)
 // events; combine observers with Tee to trace alongside a prefetch engine.
 func (c *Cache) SetObserver(o Observer) {
 	c.observer = o
+	c.accObs = nil
+	if wantsOnAccess(o) {
+		c.accObs = o
+	}
 	c.life, _ = o.(LifecycleObserver)
 }
 
@@ -427,6 +506,22 @@ func (c *Cache) findAt(si int, block mem.Addr) *line {
 // findIdx returns the global way index of block in set si, or -1: index form
 // of findAt, for paths that also update the dense replacement mirrors.
 func (c *Cache) findIdx(si int, block mem.Addr) int {
+	if c.partial != nil {
+		// Fused probe order: the most-recently-used way first (one load and
+		// compare — hit-heavy sets resolve here, and the repeat-hit memo in
+		// access() already absorbed the hottest repeats before this point),
+		// then the register-only negative memo, then the packed partial
+		// array — an eighth of the tag array's footprint — so on a miss the
+		// full tags are never scanned, only touched to verify a candidate.
+		base := si * c.cfg.Ways
+		if m := base + int(c.mru[si]); c.tags[m] == block {
+			return m
+		}
+		if block == c.lastMissBlock && c.tick == c.lastMissTick {
+			return -1
+		}
+		return c.findIdxPacked(si, base, block)
+	}
 	base := si * c.cfg.Ways
 	if m := base + int(c.mru[si]); c.tags[m] == block {
 		return m
@@ -444,6 +539,53 @@ func (c *Cache) findIdx(si int, block mem.Addr) int {
 	return -1
 }
 
+// SWAR constants for the packed partial-tag probe: lane replication and the
+// per-byte high bits of the classic zero-byte detector.
+const (
+	swarLanes = 0x0101010101010101
+	swarHigh  = 0x8080808080808080
+)
+
+// partialOf hashes a block address to its one-byte partial tag. Any function
+// works for correctness (candidates are verified against the full tags); the
+// multiplicative hash keeps false-positive verifies rare and is independent
+// of the set-index width, so one formula serves every level.
+func partialOf(block mem.Addr) uint64 {
+	return uint64(block) * 0x9e3779b97f4a7c15 >> 56
+}
+
+// findIdxPacked is the fused-path set probe: XOR the set's packed partial
+// tags against the replicated probe byte, flag zero bytes with the SWAR
+// detector (no false negatives; rare false positives from the borrow chain),
+// and verify flagged ways against the full tag array. Tags are unique within
+// a set, so at most one verify succeeds and probe order cannot change the
+// result.
+func (c *Cache) findIdxPacked(si, base int, block mem.Addr) int {
+	pat := partialOf(block) * swarLanes
+	w0 := si * c.partialWords
+	for wi := 0; wi < c.partialWords; wi++ {
+		x := c.partial[w0+wi] ^ pat
+		m := (x - swarLanes) &^ x & swarHigh
+		for m != 0 {
+			way := wi<<3 + bits.TrailingZeros64(m)>>3
+			if way < c.cfg.Ways && c.tags[base+way] == block {
+				c.mru[si] = int32(way)
+				return base + way
+			}
+			m &= m - 1
+		}
+	}
+	c.lastMissBlock, c.lastMissTick = block, c.tick
+	return -1
+}
+
+// setPartial stores way's partial-tag byte in the packed probe array.
+func (c *Cache) setPartial(si, way int, p uint64) {
+	i := si*c.partialWords + way>>3
+	sh := uint(way&7) * 8
+	c.partial[i] = c.partial[i]&^(0xFF<<sh) | p<<sh
+}
+
 // Contains reports whether block is present (valid) in the cache, including
 // lines whose fill is still in flight.
 func (c *Cache) Contains(block mem.Addr) bool {
@@ -455,6 +597,27 @@ func (c *Cache) Contains(block mem.Addr) bool {
 func (c *Cache) InFlight(block mem.Addr, at mem.Cycle) bool {
 	l := c.find(mem.BlockAlign(block))
 	return l != nil && l.readyAt > at
+}
+
+// TryDropPrefetch accounts a proven MSHR-reserve drop for a prefetch issued
+// at cycle `at` whose block is known absent (the caller just probed it):
+// when the drop watermark proves the lookup would find the free pool at or
+// below the demand reserve — lookup completes before both the proven-drop
+// horizon and the earliest possible all-free time — the prefetch's only
+// effect is the drop counter, so the caller can skip building the request
+// and walking the access path. Returns false (caller issues normally) when
+// the drop is not provable, the fused path is off, or a lifecycle tracer is
+// attached (the drop event needs the full request).
+func (c *Cache) TryDropPrefetch(at mem.Cycle) bool {
+	if !c.fused || c.life != nil {
+		return false
+	}
+	lookupDone := at + c.cfg.Latency
+	if lookupDone < c.mshrMaxDone && lookupDone < c.pfDropUntil {
+		c.Stats.PrefetchDropped++
+		return true
+	}
+	return false
 }
 
 // allocMSHR reserves the earliest-free MSHR entry at or after `at` and
@@ -530,11 +693,23 @@ func (c *Cache) victim(si int, set []line) int {
 	}
 }
 
-// touchAt updates replacement state on a hit of the way at global index gi.
-func (c *Cache) touchAt(gi int) {
+// touchAt updates replacement state on a hit of the way at global index gi in
+// set si. Bumping the set generation invalidates any hit memo formed there.
+func (c *Cache) touchAt(si, gi int) {
 	c.tick++
 	c.lrus[gi] = c.tick
 	c.lines[gi].rrpv = 0
+	c.setGen[si]++
+}
+
+// forward sends a request to the next level: through the devirtualized
+// concrete chain when the fused path linked one, the Port interface
+// otherwise. Callers have already checked next != nil.
+func (c *Cache) forward(req *mem.Request, at mem.Cycle) mem.Cycle {
+	if c.nextCache != nil {
+		return c.nextCache.access(req, at, true)
+	}
+	return c.next.Access(req, at)
 }
 
 // fill installs block into the cache with the given fill-completion time,
@@ -562,9 +737,9 @@ func (c *Cache) fill(si int, block mem.Addr, readyAt, now mem.Cycle, req *mem.Re
 		if v.dirty {
 			c.Stats.Writebacks++
 			if c.next != nil {
-				wb := c.wbPool.Get()
-				wb.PAddr, wb.Type, wb.Core = v.block, mem.Writeback, req.Core
-				c.next.Access(wb, now) // occupies downstream bandwidth
+				wb := c.wbPool.GetDirty()
+				*wb = mem.Request{PAddr: v.block, Type: mem.Writeback, Core: req.Core}
+				c.forward(wb, now) // occupies downstream bandwidth
 			}
 		}
 	}
@@ -572,6 +747,10 @@ func (c *Cache) fill(si int, block mem.Addr, readyAt, now mem.Cycle, req *mem.Re
 	c.tags[si*c.cfg.Ways+vi] = block
 	c.lrus[si*c.cfg.Ways+vi] = c.tick
 	c.mru[si] = int32(vi)
+	c.setGen[si]++
+	if c.partial != nil {
+		c.setPartial(si, vi, partialOf(block))
+	}
 	*v = line{
 		block:      block,
 		valid:      true,
@@ -603,18 +782,45 @@ func (c *Cache) AccessNoFill(req *mem.Request, at mem.Cycle) mem.Cycle {
 
 func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle {
 	block := mem.BlockAlign(req.PAddr)
+
+	// Line-hit memo: a repeat access to the last demand-hit block, in a set
+	// nothing has touched since (generation match) and past the line's fill
+	// completion, resolves without the tag probe, the replacement update, or
+	// the observer dispatch. Only armed on the fused path at levels with no
+	// OnAccess consumer (every demand access there must otherwise reach the
+	// prefetch engine) — see the memo field docs for why skipping the LRU
+	// bump is exact.
+	if block == c.memoBlock && c.memoGen == c.setGen[c.memoSet] &&
+		at >= c.memoReady && c.accObs == nil {
+		switch req.Type {
+		case mem.Prefetch:
+			// Prefetching an already-present block is a silent drop.
+			return at + c.cfg.Latency
+		case mem.Store, mem.Writeback:
+			c.lines[c.memoGI].dirty = true
+		}
+		if req.Type != mem.Writeback {
+			c.Stats.Hits++
+			c.Stats.DemandHits++
+			c.Stats.DemandLatencySum += uint64(c.cfg.Latency)
+			c.Stats.DemandCount++
+		}
+		return at + c.cfg.Latency
+	}
+
 	demand := req.Type.IsDemand() || req.Type == mem.PageWalk
 
 	if req.Type == mem.Writeback {
 		// Writebacks update in place on hit or forward below; they carry no
 		// completion dependence for the core.
-		if gi := c.findIdx(c.SetIndex(block), block); gi >= 0 {
+		si := c.SetIndex(block)
+		if gi := c.findIdx(si, block); gi >= 0 {
 			c.lines[gi].dirty = true
-			c.touchAt(gi)
+			c.touchAt(si, gi)
 			return at + c.cfg.Latency
 		}
 		if c.next != nil {
-			return c.next.Access(req, at+c.cfg.Latency)
+			return c.forward(req, at+c.cfg.Latency)
 		}
 		return at + c.cfg.Latency
 	}
@@ -637,13 +843,13 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 				// manufacture bandwidth.
 				re := c.prPool.Get()
 				*re = *req
-				if promoted := c.next.Access(re, lookupDone); promoted < done {
+				if promoted := c.forward(re, lookupDone); promoted < done {
 					done = promoted
 					l.readyAt = promoted
 				}
 			}
 		}
-		c.touchAt(gi)
+		c.touchAt(si, gi)
 		if req.Type == mem.Store {
 			l.dirty = true
 		}
@@ -673,9 +879,16 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 					})
 				}
 			}
+			if c.fused && c.accObs == nil && !merged {
+				// Arm the memo for repeat hits: the line is valid, ready, and
+				// (after the use accounting above) no longer prefetched.
+				c.memoBlock, c.memoSet, c.memoGI = block, si, gi
+				c.memoGen = c.setGen[si]
+				c.memoReady = l.readyAt
+			}
 		}
-		if c.observer != nil {
-			c.observer.OnAccess(AccessInfo{Req: req, Hit: true, At: at, Done: done, Set: si})
+		if c.accObs != nil {
+			c.accObs.OnAccess(AccessInfo{Req: req, Hit: true, At: at, Done: done, Set: si})
 		}
 		return done
 	}
@@ -739,7 +952,7 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 	}
 	done := start
 	if c.next != nil {
-		done = c.next.Access(req, start)
+		done = c.forward(req, start)
 	}
 	c.mshrFree[idx] = done
 	if done > c.mshrMaxDone {
@@ -761,8 +974,8 @@ func (c *Cache) access(req *mem.Request, at mem.Cycle, fillHere bool) mem.Cycle 
 			PrefID: req.PrefID, Core: uint8(req.Core),
 		})
 	}
-	if req.Type != mem.Prefetch && c.observer != nil {
-		c.observer.OnAccess(AccessInfo{Req: req, Hit: false, At: at, Done: done, Set: si})
+	if req.Type != mem.Prefetch && c.accObs != nil {
+		c.accObs.OnAccess(AccessInfo{Req: req, Hit: false, At: at, Done: done, Set: si})
 	}
 	return done
 }

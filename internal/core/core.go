@@ -378,9 +378,17 @@ func (e *Engine) selectFor(set int) uint8 {
 }
 
 // operate runs one prefetcher and funnels its candidates through the
-// boundary policy into the caches.
+// boundary policy into the caches, each dispatched the moment it is
+// proposed.
 func (e *Engine) operate(p prefetch.Prefetcher, id uint8, ctx prefetch.Context, size mem.PageSize) {
 	e.opCtx, e.opSize, e.opID = ctx, size, id
+	// Candidates must be dispatched the moment they are proposed, never
+	// batched to the end of Operate: issuing a prefetch can evict a line
+	// whose OnPrefetchUnused feedback synchronously retrains the proposing
+	// prefetcher (ppf's perceptron, spp's confidence tables), and the next
+	// candidate in the same lookahead burst must be classified against those
+	// updated weights. Deferring the drain reorders that feedback loop and
+	// changes simulation results (caught by TestFusedPathEquivalence).
 	p.Operate(ctx, e.issueFn)
 }
 
@@ -414,16 +422,6 @@ func (e *Engine) issueCandidate(c prefetch.Candidate) {
 	if crossed {
 		e.Stats.CrossedPage4K++
 	}
-	req := e.pfPool.Get()
-	req.PAddr = c.Addr
-	req.PC = e.opCtx.PC
-	req.Type = mem.Prefetch
-	req.Core = e.core
-	req.PageSize = size
-	req.PageSizeKnown = true
-	req.FillL2 = c.FillL2
-	req.PrefID = e.opID
-	req.CrossedPage = crossed
 	at := e.opCtx.At
 	if e.lastIssue >= at {
 		at = e.lastIssue + 1
@@ -433,6 +431,26 @@ func (e *Engine) issueCandidate(c prefetch.Candidate) {
 		return
 	}
 	e.lastIssue = at
+	if e.l2.TryDropPrefetch(at) {
+		// The L2's MSHR drop watermark proves this prefetch (absent per the
+		// Contains probe above) cannot allocate outside the demand reserve:
+		// its only effect is the drop counter, already recorded, so skip
+		// building the request and walking the access path. During a
+		// lookahead burst under MSHR saturation this is most candidates.
+		return
+	}
+	req := e.pfPool.GetDirty()
+	*req = mem.Request{
+		PAddr:         c.Addr,
+		PC:            e.opCtx.PC,
+		Type:          mem.Prefetch,
+		Core:          e.core,
+		PageSize:      size,
+		PageSizeKnown: true,
+		FillL2:        c.FillL2,
+		PrefID:        e.opID,
+		CrossedPage:   crossed,
+	}
 	if c.FillL2 {
 		e.l2.Access(req, at)
 	} else {
@@ -499,6 +517,11 @@ type LLCFeedback struct {
 	// Engines maps core ID to that core's L2 prefetch engine.
 	Engines []*Engine
 }
+
+// WantsOnAccess implements cache.AccessSink: the embedded no-op OnAccess
+// consumes nothing, so the LLC can skip per-access dispatch entirely (and
+// arm its line-hit memo on the fused path).
+func (f *LLCFeedback) WantsOnAccess() bool { return false }
 
 // OnPrefetchUseful implements cache.Observer. LLC outcomes train the
 // prefetchers (accuracy throttles, perceptron weights) but do not vote in

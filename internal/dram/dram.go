@@ -6,6 +6,8 @@
 package dram
 
 import (
+	"math/bits"
+
 	"repro/internal/mem"
 )
 
@@ -83,7 +85,16 @@ type DRAM struct {
 	// model cannot reorder the queue; the extra slots emulate its batching.
 	openRow  [][][]rowSlot
 	rowSlots int
-	Stats    Stats
+
+	// chanMask/rowShift/bankMask strength-reduce mapAddr's divisions to
+	// masks and shifts when the geometry is power-of-two (the default
+	// config is); rowShift < 0 selects the generic divide path. The two
+	// paths compute identical values.
+	chanMask mem.Addr
+	rowShift int
+	bankMask uint64
+
+	Stats Stats
 }
 
 // New creates a DRAM model.
@@ -103,6 +114,15 @@ func New(cfg Config) *DRAM {
 	d := &DRAM{cfg: cfg, burstCycles: burst, rowSlots: cfg.RowSlots}
 	if d.rowSlots <= 0 {
 		d.rowSlots = DefaultRowSlots
+	}
+	d.rowShift = -1
+	blocksPerRow := cfg.RowBytes >> mem.BlockBits
+	rowDiv := mem.Addr(cfg.Channels) * blocksPerRow
+	if pow2(uint64(cfg.Channels)) && pow2(uint64(cfg.BanksPerChan)) &&
+		blocksPerRow > 0 && pow2(uint64(rowDiv)) {
+		d.chanMask = mem.Addr(cfg.Channels - 1)
+		d.rowShift = bits.TrailingZeros64(uint64(rowDiv))
+		d.bankMask = uint64(cfg.BanksPerChan - 1)
 	}
 	d.busFree = make([]mem.Cycle, cfg.Channels)
 	d.bankFree = make([][]mem.Cycle, cfg.Channels)
@@ -141,12 +161,20 @@ func (d *DRAM) BusyBanks(at mem.Cycle) int {
 // land on different banks instead of thrashing one row buffer.
 func (d *DRAM) mapAddr(a mem.Addr) (ch, bank int, row mem.Addr) {
 	blk := mem.BlockNumber(a)
+	if d.rowShift >= 0 {
+		ch = int(blk & d.chanMask)
+		rowGlobal := blk >> d.rowShift
+		bank = int((uint64(rowGlobal) * 0x9e3779b9) >> 16 & d.bankMask)
+		return ch, bank, rowGlobal
+	}
 	ch = int(blk) % d.cfg.Channels
 	blocksPerRow := d.cfg.RowBytes >> mem.BlockBits
 	rowGlobal := blk / (mem.Addr(d.cfg.Channels) * blocksPerRow)
 	bank = int((uint64(rowGlobal) * 0x9e3779b9) >> 16 % uint64(d.cfg.BanksPerChan))
 	return ch, bank, rowGlobal
 }
+
+func pow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
 
 // Access implements mem.Port.
 func (d *DRAM) Access(req *mem.Request, at mem.Cycle) mem.Cycle {

@@ -139,6 +139,48 @@ func TestRunBatchFlatVMEquivalence(t *testing.T) {
 	}
 }
 
+// TestFusedPathEquivalence: the devirtualized hierarchy descent (direct
+// *cache.Cache calls core→L1D→L2→LLC→DRAM, line-hit memo, packed partial-tag
+// probe, batched prefetch drain, MSHR-saturation prefetch drop) must be
+// observationally identical to the legacy mem.Port dispatch chain — the fused
+// path is an optimisation, never a semantic change. The batch runs the quick
+// workload×prefetcher matrix, widened with the remaining engine families
+// (ppf, vldp) and an L1-prefetching row, at full parallelism under both
+// settings; any hit/miss, replacement, MSHR, stats or timing divergence shows
+// up as a byte-level result diff.
+func TestFusedPathEquivalence(t *testing.T) {
+	o := tinyOptions(t)
+	o.Warmup = 20_000
+	o.Instructions = 80_000
+	o.Parallelism = runtime.GOMAXPROCS(0)
+	jobs := detJobs(t, o)
+	for _, w := range o.Workloads[:2] {
+		jobs = append(jobs,
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "ppf", Variant: core.PSA}},
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "vldp", Variant: core.Original}},
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA2MB, L1: sim.L1IPCPPP}},
+		)
+	}
+
+	if !mem.FusedPath {
+		t.Fatal("FusedPath must default to true")
+	}
+	fused, err := runBatch(o, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem.FusedPath = false
+	defer func() { mem.FusedPath = true }()
+	legacy, err := runBatch(o, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb, lb := mustJSON(t, fused), mustJSON(t, legacy); !bytes.Equal(fb, lb) {
+		t.Errorf("fused and legacy descent runs diverged:\nfused  %s\nlegacy %s", fb, lb)
+	}
+}
+
 // TestRunBatchSeedSensitivity: the seed must actually matter, or the cache
 // key's Seed component would be dead weight.
 func TestRunBatchSeedSensitivity(t *testing.T) {

@@ -1,0 +1,20 @@
+package mem
+
+// FusedPath, when true (the default), selects the fused memory-hierarchy
+// descent at construction time: cache levels whose next Port is itself a
+// cache link a concrete next-level pointer so the miss path runs through
+// direct calls instead of interface dispatch, lookups use the packed
+// partial-tag probe, consecutive same-block hits short-circuit through the
+// generation-stamped line memo, and the prefetch engine batch-drains
+// candidates with proven-drop accounting. False selects the legacy
+// interface-dispatched path.
+//
+// Like vm.FlatVM, the toggle is consulted only while a system is being
+// assembled — flipping it mid-simulation has no effect — and both settings
+// must produce byte-identical results: the fused-vs-legacy differential
+// (TestFusedPathEquivalence) runs the full quick workload×prefetcher matrix
+// under both and compares encoded figures. It is a package variable rather
+// than a sim.Config field so the content-addressed result cache (which
+// marshals Config into its keys) is unaffected and no simcache SchemaVersion
+// bump is needed.
+var FusedPath = true

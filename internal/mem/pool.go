@@ -29,3 +29,15 @@ func (p *RequestPool) Get() *Request {
 	p.scratch = Request{}
 	return &p.scratch
 }
+
+// GetDirty returns the scratch entry without zeroing it. Callers must
+// overwrite it with a full composite-literal assignment (*req = Request{...}),
+// which zeroes every unmentioned field itself — the result is byte-identical
+// to Get plus field writes, minus the redundant clear. Under FreshRequests it
+// still allocates, so the pooled-vs-fresh differential covers these sites too.
+func (p *RequestPool) GetDirty() *Request {
+	if FreshRequests {
+		return &Request{}
+	}
+	return &p.scratch
+}

@@ -67,6 +67,15 @@ type Prefetcher interface {
 	Train(ctx Context)
 }
 
+// Note on batching: engines must dispatch each candidate through the issue
+// callback the moment Operate proposes it, never buffer a burst and drain it
+// after Operate returns. Issuing a prefetch can evict a line whose
+// OnPrefetchUnused feedback synchronously retrains the proposing prefetcher
+// (ppf's perceptron, spp's confidence tables), and the next candidate in the
+// same lookahead burst must be generated and classified against those updated
+// weights — deferred draining reorders that feedback loop and changes
+// simulation results.
+
 // FeedbackReceiver is implemented by prefetchers that learn from prefetch
 // outcomes (PPF's perceptron, BOP's scoring).
 type FeedbackReceiver interface {

@@ -21,6 +21,11 @@ type coreNode struct {
 	l1d       *cache.Cache
 	l2        *cache.Cache
 	llc       *cache.Cache
+	// desc is the fused descent over this core's private levels and the
+	// shared LLC: the single entry point demand accesses and page-walk
+	// references take into the hierarchy (direct calls all the way to DRAM
+	// when mem.FusedPath linked the chain).
+	desc *cache.Descent
 	engine    *core.Engine
 	cpu       *cpu.Core
 	reader    trace.Reader
@@ -103,7 +108,10 @@ func newSystem(cfg Config, spec PrefSpec, workloads []trace.Workload, seed uint6
 		// Section IV-A): the code address space never uses large pages.
 		n.codeSpace = vm.NewAddressSpace(s.alloc, vm.FractionTHP{Frac: 0})
 		n.llc = s.llc
-		n.mmu = vm.NewMMU(n.space, cfg.MMU, i, n.l1d)
+		n.desc = cache.NewDescent(n.l1d, n.l2, s.llc)
+		// The walker's references descend through the same fused chain as
+		// demand accesses (they enter at the L1D, exactly as before).
+		n.mmu = vm.NewMMU(n.space, cfg.MMU, i, n.desc)
 		n.mmu.SetWalkArena(walkArena)
 		n.reader = w.New(seed + uint64(i)*997)
 
@@ -145,18 +153,20 @@ func (n *coreNode) Access(pc, vaddr mem.Addr, write bool, at mem.Cycle) mem.Cycl
 	if write {
 		typ = mem.Store
 	}
-	req := n.demandPool.Get()
-	req.PAddr = tr.PAddr
-	req.VAddr = vaddr
-	req.PC = pc
-	req.Type = typ
-	req.Core = n.id
+	req := n.demandPool.GetDirty()
 	// PPM: the page size from the translation metadata accompanies the
 	// request; on an L1D miss it is stored in the MSHR's extra bit and
 	// travels to the L2 prefetcher.
-	req.PageSize = tr.Size
-	req.PageSizeKnown = true
-	done := n.l1d.Access(req, ready)
+	*req = mem.Request{
+		PAddr:         tr.PAddr,
+		VAddr:         vaddr,
+		PC:            pc,
+		Type:          typ,
+		Core:          n.id,
+		PageSize:      tr.Size,
+		PageSizeKnown: true,
+	}
+	done := n.desc.Access(req, ready)
 	n.l1Prefetch(pc, vaddr, at, tr)
 	return done
 }
@@ -167,14 +177,16 @@ func (n *coreNode) Access(pc, vaddr mem.Addr, write bool, at mem.Cycle) mem.Cycl
 // implementation choice for L1I misses.
 func (n *coreNode) FetchInstr(pc mem.Addr, at mem.Cycle) mem.Cycle {
 	tr := n.codeSpace.Translate(pc)
-	req := n.fetchPool.Get()
-	req.PAddr = tr.PAddr
-	req.VAddr = pc
-	req.PC = pc
-	req.Type = mem.Fetch
-	req.Core = n.id
-	req.PageSize = mem.Page4K
-	req.PageSizeKnown = true
+	req := n.fetchPool.GetDirty()
+	*req = mem.Request{
+		PAddr:         tr.PAddr,
+		VAddr:         pc,
+		PC:            pc,
+		Type:          mem.Fetch,
+		Core:          n.id,
+		PageSize:      mem.Page4K,
+		PageSizeKnown: true,
+	}
 	return n.l1i.Access(req, at)
 }
 
@@ -220,14 +232,16 @@ func (n *coreNode) issueL1(cand, trigger mem.Addr, tr vm.Translation, at mem.Cyc
 		}
 		paddr, size = ct.PAddr, ct.Size
 	}
-	req := n.l1pfPool.Get()
-	req.PAddr = mem.BlockAlign(paddr)
-	req.VAddr = cand
-	req.PC = pc
-	req.Type = mem.Prefetch
-	req.Core = n.id
-	req.PageSize = size
-	req.PageSizeKnown = true
-	req.FillL2 = true
+	req := n.l1pfPool.GetDirty()
+	*req = mem.Request{
+		PAddr:         mem.BlockAlign(paddr),
+		VAddr:         cand,
+		PC:            pc,
+		Type:          mem.Prefetch,
+		Core:          n.id,
+		PageSize:      size,
+		PageSizeKnown: true,
+		FillL2:        true,
+	}
 	n.l1d.Access(req, at)
 }

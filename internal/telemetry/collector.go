@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -131,13 +132,27 @@ func (c *Collector) EndEpoch(instructions, cycles uint64) {
 			ep.Metrics[p.name] = float64(cur - p.last)
 			p.last = cur
 		case gaugeProbe:
-			ep.Metrics[p.name] = p.f64()
+			ep.Metrics[p.name] = finite(p.f64())
 		case derivedProbe:
-			ep.Metrics[p.name] = p.derived(lookup)
+			// Zero-cycle or zero-instruction epochs (back-to-back boundaries,
+			// e.g. a final flush landing on a period edge) make naive rate
+			// probes divide by zero. encoding/json rejects NaN/Inf outright,
+			// so one bad sample would abort the whole JSONL export; record 0
+			// instead — "no activity this epoch" — and keep the series
+			// machine-readable.
+			ep.Metrics[p.name] = finite(p.derived(lookup))
 		}
 	}
 	c.epochs = append(c.epochs, ep)
 	c.latest = ep.Metrics
+}
+
+// finite maps NaN and ±Inf to 0 so epoch series stay JSON-encodable.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // Epochs returns the recorded series (shared backing array; callers must

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -106,6 +107,48 @@ func TestCollectorDeltasAndDerived(t *testing.T) {
 	}
 	if c.Latest()["misses"] != 20 {
 		t.Errorf("Latest misses = %v", c.Latest()["misses"])
+	}
+}
+
+// A zero-cycle (or zero-instruction) epoch turns naive rate probes into 0/0.
+// The collector must record 0 instead of NaN/Inf: encoding/json rejects
+// non-finite values, so a single poisoned sample would abort the whole JSONL
+// export.
+func TestCollectorZeroCycleEpochStaysFinite(t *testing.T) {
+	c := NewCollector()
+	c.AddDerived("ipc", func(get Lookup) float64 {
+		return get("instructions") / get("cycles") // unguarded on purpose
+	})
+	c.AddDerived("inf", func(get Lookup) float64 {
+		return (get("instructions") + 1) / get("cycles")
+	})
+	c.AddGauge("gnan", func() float64 { return math.NaN() })
+
+	c.EndEpoch(1000, 2000)
+	c.EndEpoch(1000, 2000) // back-to-back boundary: zero-delta epoch
+
+	eps := c.Epochs()
+	if len(eps) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(eps))
+	}
+	if eps[1].Cycles != 0 || eps[1].Instructions != 0 {
+		t.Fatalf("epoch 1 deltas = %d/%d, want 0/0", eps[1].Instructions, eps[1].Cycles)
+	}
+	for _, name := range []string{"ipc", "inf", "gnan"} {
+		if v := eps[1].Metrics[name]; v != 0 {
+			t.Errorf("zero-cycle epoch %s = %v, want 0", name, v)
+		}
+	}
+	if v := eps[0].Metrics["ipc"]; v != 0.5 {
+		t.Errorf("normal epoch ipc = %v, want 0.5", v)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL after zero-cycle epoch: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Errorf("JSONL lines = %d, want 2", lines)
 	}
 }
 
