@@ -19,10 +19,10 @@ vet:
 
 # fuzz-seeds replays every checked-in fuzz seed corpus as plain tests (no
 # fuzzing engine) under the race detector, catching trace-format,
-# batch-decoder, submit-decoder and flat-page-table regressions
-# deterministically.
+# batch-decoder, submit-decoder, flat-page-table and traceparent-parser
+# regressions deterministically.
 fuzz-seeds:
-	$(GO) test -race -run=Fuzz ./internal/trace/ ./internal/service/ ./internal/vm/
+	$(GO) test -race -run=Fuzz ./internal/trace/ ./internal/service/ ./internal/vm/ ./internal/dtrace/
 
 # bench runs the pinned workload×prefetcher microbenchmark suite and writes
 # BENCH_<date>.json (see cmd/pbench -h for comparing against a baseline).

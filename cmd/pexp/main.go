@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/experiments"
 	"repro/internal/service"
 	"repro/internal/simcache"
@@ -67,6 +68,50 @@ func writeHeapProfile(path string) {
 	}
 }
 
+// writeStitchedTrace merges the client's own spans with every endpoint's
+// flight-recorder dump, keeps the traces this run started, and writes the
+// result as Chrome trace_event JSON (load it in Perfetto or chrome://tracing:
+// one process track per node, one thread lane per trace).
+func writeStitchedTrace(mc *service.MultiClient, flight *dtrace.Recorder, path string) error {
+	local := flight.Snapshot(dtrace.Filter{})
+	sets := [][]dtrace.SpanData{local}
+	// A fresh context: the run's context is typically done (or canceled) by
+	// the time the trace is collected.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, ep := range mc.Endpoints() {
+		spans, err := service.NewClient(ep).Flight(ctx, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %s: %v (skipping)\n", ep, err)
+			continue
+		}
+		sets = append(sets, spans)
+	}
+	// The daemons' rings also hold other clients' spans; keep the traces the
+	// local recorder knows about.
+	ours := map[string]bool{}
+	for _, d := range local {
+		ours[d.TraceID] = true
+	}
+	var spans []dtrace.SpanData
+	for _, d := range dtrace.Stitch(sets...) {
+		if ours[d.TraceID] {
+			spans = append(spans, d)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dtrace.WriteChromeTrace(f, spans); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans, %d trace(s), %d endpoint(s) -> %s\n",
+		len(spans), len(dtrace.TraceIDs(spans)), len(mc.Endpoints()), path)
+	return nil
+}
+
 func main() { os.Exit(run()) }
 
 func run() int {
@@ -92,6 +137,7 @@ func run() int {
 
 		telemetryDir = flag.String("telemetry-dir", "", "write per-job telemetry series under this directory (e.g. results/telemetry); cache-hit and remote jobs emit none")
 		epochLen     = flag.Uint64("epoch", 0, "telemetry epoch length in instructions (default: the simulator's standard epoch)")
+		traceOut     = flag.String("trace-out", "", "write a stitched distributed trace (Chrome trace_event JSON, Perfetto-loadable) of every batch to this file; requires -server")
 	)
 	flag.Parse()
 
@@ -146,16 +192,29 @@ func run() int {
 	if !*quiet {
 		o.Progress = os.Stderr
 	}
+	if *traceOut != "" && *server == "" {
+		fmt.Fprintln(os.Stderr, "pexp: -trace-out requires -server (the trace follows batches across daemons)")
+		return 2
+	}
+	var flight *dtrace.Recorder
+	var mc *service.MultiClient
 	switch {
 	case *server != "":
 		// The daemon owns caching and cross-client dedup; no local store.
 		// Several endpoints form a failover rotation over one cluster.
-		mc, err := service.NewMultiClient(service.ParseEndpoints(*server))
+		var err error
+		mc, err = service.NewMultiClient(service.ParseEndpoints(*server))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pexp:", err)
 			return 2
 		}
 		o.Remote = mc
+		if *traceOut != "" {
+			// The client records its own batch/submit spans; every server
+			// span of the same traces is fetched and stitched in afterwards.
+			flight = dtrace.NewRecorder("pexp", 0)
+			o.Context = dtrace.NewContext(o.Context, flight, dtrace.SpanContext{})
+		}
 	case !*noCache:
 		store, err := simcache.New(*cacheDir)
 		if err != nil {
@@ -213,6 +272,12 @@ func run() int {
 		s := o.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d shared, %d simulated (%.0f%% hit rate)\n",
 			o.Cache.Dir(), s.Hits, s.Shared, s.Misses, s.HitRate()*100)
+	}
+	if flight != nil {
+		if err := writeStitchedTrace(mc, flight, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+			return 1
+		}
 	}
 	if *htmlOut != "" {
 		f, err := os.Create(*htmlOut)

@@ -18,8 +18,10 @@
 //	pexp -fig 8 -server http://h1:8080,http://h2:8080,http://h3:8080
 //
 // Endpoints: POST /v1/sims, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events
-// (SSE), DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text);
-// cluster mode adds the peer protocol under /v1/cluster/* and /v1/cache/*.
+// (SSE), DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text),
+// GET /debug/flight (the span flight recorder, see -flight-cap); cluster mode
+// adds the peer protocol under /v1/cluster/* and /v1/cache/*. -debug-addr
+// serves net/http/pprof on a separate (private) listener.
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, accepted jobs finish
 // (bounded by -drain), then the HTTP server shuts down.
@@ -32,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"net/url"
@@ -42,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/dtrace"
 	"repro/internal/service"
 	"repro/internal/simcache"
 )
@@ -73,6 +77,9 @@ func run() int {
 		peers     = flag.String("peers", "", "comma-separated seed peers: id=http://host:port or bare URLs")
 		nodeID    = flag.String("node-id", "", "stable cluster identity (default: advertise URL's host:port)")
 		advertise = flag.String("advertise", "", "URL peers dial to reach this node (default: http://<addr>)")
+
+		flightCap = flag.Int("flight-cap", dtrace.DefaultCap, "span flight-recorder capacity (newest spans retained, served at /debug/flight; 0 disables tracing)")
+		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof (e.g. localhost:6061); empty disables profiling")
 	)
 	flag.Parse()
 
@@ -125,6 +132,20 @@ func run() int {
 		}
 	}
 
+	if *flightCap > 0 {
+		// The recorder's node identity is what stitched multi-node traces
+		// group tracks by: the cluster ID when clustered, else the listen
+		// address.
+		node := *addr
+		if cfg.Cluster != nil {
+			node = cfg.Cluster.Self.ID
+		}
+		cfg.Flight = dtrace.NewRecorder(node, *flightCap)
+		if cfg.Cluster != nil {
+			cfg.Cluster.Flight = cfg.Flight
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -146,6 +167,22 @@ func run() int {
 		*addr, *workers, *par, *queue, cacheNote)
 	if c := srv.Cluster(); c != nil {
 		log.Printf("%s: %d seed peer(s)", c, len(cfg.Cluster.Seeds))
+	}
+	if *debugAddr != "" {
+		// Profiling lives on its own listener so the public API port never
+		// exposes pprof; bind it to localhost (or a firewalled interface).
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("psimd: debug listener: %v", err)
+			}
+		}()
+		log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
 	}
 
 	select {

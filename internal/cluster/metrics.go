@@ -6,10 +6,11 @@ import (
 	"sync"
 )
 
-// histogram is a fixed-bucket cumulative histogram in the Prometheus mold:
-// observe() files a value into every bucket whose upper bound admits it, and
-// the writer emits _bucket{le=...}, _sum, and _count samples.
-type histogram struct {
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus mold:
+// Observe files a value into every bucket whose upper bound admits it, and
+// Write emits _bucket{le=...}, _sum, and _count samples. Exported so sibling
+// packages (the service's queue-wait histogram) reuse one implementation.
+type Histogram struct {
 	mu     sync.Mutex
 	bounds []float64 // upper bounds, ascending; +Inf implied
 	counts []uint64  // len(bounds)+1, last is the overflow (+Inf) bucket
@@ -17,14 +18,16 @@ type histogram struct {
 	total  uint64
 }
 
-// newLatencyHistogram covers 1ms..10s — the plausible span of a cross-node
-// cache fetch (sub-ms on localhost) through a proxied full simulation.
-func newLatencyHistogram() histogram {
+// NewLatencyHistogram covers 1ms..10s — the plausible span of a cross-node
+// cache fetch (sub-ms on localhost) through a proxied full simulation, and
+// equally of a job's queue wait on a loaded daemon.
+func NewLatencyHistogram() Histogram {
 	bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-	return histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	return Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }
 
-func (h *histogram) observe(v float64) {
+// Observe files one value.
+func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	i := len(h.bounds) // overflow bucket
@@ -39,8 +42,8 @@ func (h *histogram) observe(v float64) {
 	h.total++
 }
 
-// write emits the histogram family in exposition format.
-func (h *histogram) write(w io.Writer, name, help string) {
+// Write emits the histogram family in exposition format.
+func (h *Histogram) Write(w io.Writer, name, help string) {
 	h.mu.Lock()
 	bounds := h.bounds
 	counts := append([]uint64(nil), h.counts...)
@@ -80,6 +83,6 @@ func (n *Node) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "psimd_cluster_steals_total{role=\"thief\"} %d\n", st.StolenByUs)
 	fmt.Fprintf(w, "psimd_cluster_steals_total{role=\"victim\"} %d\n", st.StolenFromUs)
 
-	n.proxyLatency.write(w, "psimd_cluster_proxy_latency_seconds",
+	n.proxyLatency.Write(w, "psimd_cluster_proxy_latency_seconds",
 		"Round-trip seconds of remote cache fetches and proxied simulations.")
 }

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/dtrace"
 )
 
 // Options configures a cluster node.
@@ -34,6 +36,10 @@ type Options struct {
 	StealTimeout time.Duration
 	// Transport defaults to a fresh Transport over http.DefaultClient.
 	Transport *Transport
+	// Flight, when non-nil, records spans for the cluster protocol's server
+	// side (cache entries served to peers) into the node's flight ring. Nil
+	// disables span recording for free.
+	Flight *dtrace.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -95,7 +101,7 @@ type Node struct {
 	stolenByUs    atomic.Uint64 // items this node stole and completed
 	stolenFromUs  atomic.Uint64 // items peers claimed from this node
 	entriesServed atomic.Uint64 // cache entries served to peers
-	proxyLatency  histogram     // seconds per remote fetch/exec round-trip
+	proxyLatency  Histogram     // seconds per remote fetch/exec round-trip
 
 	loopCtx  context.Context
 	loopStop context.CancelFunc
@@ -116,7 +122,7 @@ func NewNode(opts Options, hooks Hooks) *Node {
 		mem:          NewMembership(opts.Self, opts.Seeds, opts.VirtualNodes),
 		tr:           opts.Transport,
 		pending:      NewPendingTable(),
-		proxyLatency: newLatencyHistogram(),
+		proxyLatency: NewLatencyHistogram(),
 		loopCtx:      ctx,
 		loopStop:     stop,
 		hooks:        hooks,
@@ -159,7 +165,7 @@ func (n *Node) ReportFailure(id string) {
 
 // ObserveRemote folds one remote round-trip (cache fetch or proxied
 // execution) into the proxy latency histogram.
-func (n *Node) ObserveRemote(d time.Duration) { n.proxyLatency.observe(d.Seconds()) }
+func (n *Node) ObserveRemote(d time.Duration) { n.proxyLatency.Observe(d.Seconds()) }
 
 // CountRemoteHit / CountProxied / CountFailover tick the routing counters;
 // the service's simulate path calls them as it routes.
@@ -351,6 +357,13 @@ func (n *Node) handleState(w http.ResponseWriter, r *http.Request) {
 
 func (n *Node) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	// Only traced fetches record a span: an orphan-free tree needs the
+	// requester's traceparent, and untraced peers should stay free.
+	if sc, ok := dtrace.Extract(r.Header); ok {
+		sp := n.opts.Flight.StartSpan(sc, "cache.serve")
+		sp.Annotate(shortKey(key))
+		defer sp.End()
+	}
 	if n.hooks.FetchLocal == nil {
 		http.Error(w, "no local store", http.StatusNotFound)
 		return
@@ -414,6 +427,15 @@ func (n *Node) FetchRemote(ctx context.Context, base, key string) ([]byte, bool,
 	body, ok, err := n.tr.FetchEntry(ctx, base, key)
 	n.ObserveRemote(time.Since(start))
 	return body, ok, err
+}
+
+// shortKey truncates a content-addressed key to a span-annotation-sized
+// prefix (keys are digests; the prefix is enough to correlate).
+func shortKey(key string) string {
+	if len(key) > 16 {
+		return key[:16]
+	}
+	return key
 }
 
 // String renders a short identity for logs.

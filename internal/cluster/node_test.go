@@ -184,7 +184,7 @@ func TestStealRoundTrip(t *testing.T) {
 	})
 	victim, thief := nodes[0], nodes[1]
 
-	p := victim.Pending().Register("job-1", json.RawMessage(`{"work":true}`))
+	p := victim.Pending().Register("job-1", json.RawMessage(`{"work":true}`), "")
 	done := make(chan []byte, 1)
 	go func() {
 		body, ok := p.Wait(context.Background(), 5*time.Second)
@@ -222,7 +222,7 @@ func TestStealRoundTrip(t *testing.T) {
 func TestStealSkipsWhenBusyOrDraining(t *testing.T) {
 	nodes := startTestNodes(t, "n", 2, func(item StealItem) ([]byte, error) { return []byte("x"), nil })
 	victim, thief := nodes[0], nodes[1]
-	victim.Pending().Register("job", json.RawMessage(`{}`))
+	victim.Pending().Register("job", json.RawMessage(`{}`), "")
 
 	thief.Membership().SetDraining(true)
 	if got := thief.StealOnce(context.Background()); got != 0 {

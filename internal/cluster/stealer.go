@@ -25,6 +25,7 @@ type PendingTable struct {
 
 type pendingItem struct {
 	payload json.RawMessage
+	tp      string // traceparent of the waiter, handed to the thief
 	claimed bool
 	result  []byte        // set before done is closed
 	done    chan struct{} // closed by Deliver; result is then readable
@@ -45,14 +46,18 @@ func NewPendingTable() *PendingTable {
 
 // Register announces that the caller is about to wait for a local slot to
 // execute key, exposing it (with its opaque execution payload) to thieves.
-// Duplicate keys share one item.
-func (t *PendingTable) Register(key string, payload json.RawMessage) *Pending {
+// Duplicate keys share one item. traceparent (may be empty) rides along to
+// the thief, so spans it records parent under the victim's trace.
+func (t *PendingTable) Register(key string, payload json.RawMessage, traceparent string) *Pending {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	it, ok := t.items[key]
 	if !ok {
 		it = &pendingItem{payload: payload, done: make(chan struct{})}
 		t.items[key] = it
+	}
+	if it.tp == "" {
+		it.tp = traceparent
 	}
 	it.waiters++
 	return &Pending{t: t, key: key, it: it}
@@ -86,7 +91,7 @@ func (t *PendingTable) Claim(maxItems int) []StealItem {
 			continue
 		}
 		it.claimed = true
-		out = append(out, StealItem{Key: key, Payload: it.payload})
+		out = append(out, StealItem{Key: key, Payload: it.payload, Traceparent: it.tp})
 		if len(out) >= maxItems {
 			break
 		}

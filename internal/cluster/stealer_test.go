@@ -9,7 +9,7 @@ import (
 
 func TestPendingClaimDeliver(t *testing.T) {
 	tb := NewPendingTable()
-	p := tb.Register("k1", []byte(`{"x":1}`))
+	p := tb.Register("k1", []byte(`{"x":1}`), "")
 	if tb.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", tb.Len())
 	}
@@ -44,8 +44,8 @@ func TestPendingClaimDeliver(t *testing.T) {
 // the in-cluster form of the cache's single-flight dedup.
 func TestPendingDuplicateWaiters(t *testing.T) {
 	tb := NewPendingTable()
-	p1 := tb.Register("k", []byte("{}"))
-	p2 := tb.Register("k", []byte("{}"))
+	p1 := tb.Register("k", []byte("{}"), "")
+	p2 := tb.Register("k", []byte("{}"), "")
 	if tb.Len() != 1 {
 		t.Fatalf("duplicate key counted twice: Len = %d", tb.Len())
 	}
@@ -73,7 +73,7 @@ func TestPendingDuplicateWaiters(t *testing.T) {
 // wait instead of duplicating the computation.
 func TestPendingWithdraw(t *testing.T) {
 	tb := NewPendingTable()
-	p := tb.Register("k", []byte("{}"))
+	p := tb.Register("k", []byte("{}"), "")
 	if !p.Withdraw() {
 		t.Fatal("unclaimed Withdraw refused")
 	}
@@ -81,7 +81,7 @@ func TestPendingWithdraw(t *testing.T) {
 		t.Fatal("withdrawn key still stealable")
 	}
 
-	p = tb.Register("k2", []byte("{}"))
+	p = tb.Register("k2", []byte("{}"), "")
 	tb.Claim(1)
 	if p.Withdraw() {
 		t.Fatal("Withdraw succeeded on a claimed key — the sim would run twice")
@@ -92,7 +92,7 @@ func TestPendingWithdraw(t *testing.T) {
 // gives up after the steal timeout and the key's late delivery is dropped.
 func TestPendingWaitTimeout(t *testing.T) {
 	tb := NewPendingTable()
-	p := tb.Register("k", []byte("{}"))
+	p := tb.Register("k", []byte("{}"), "")
 	tb.Claim(1)
 	start := time.Now()
 	if _, ok := p.Wait(context.Background(), 20*time.Millisecond); ok {
@@ -110,8 +110,8 @@ func TestPendingWaitTimeout(t *testing.T) {
 // tear down a delivery another live waiter is depending on.
 func TestPendingAbandonKeepsOtherWaiters(t *testing.T) {
 	tb := NewPendingTable()
-	p1 := tb.Register("k", []byte("{}"))
-	p2 := tb.Register("k", []byte("{}"))
+	p1 := tb.Register("k", []byte("{}"), "")
+	p2 := tb.Register("k", []byte("{}"), "")
 	tb.Claim(1)
 	p1.Abandon()
 	if !tb.Deliver("k", []byte("res")) {
@@ -122,7 +122,7 @@ func TestPendingAbandonKeepsOtherWaiters(t *testing.T) {
 	}
 
 	// With every waiter gone the entry disappears and delivery is stale.
-	p3 := tb.Register("k2", []byte("{}"))
+	p3 := tb.Register("k2", []byte("{}"), "")
 	tb.Claim(1)
 	p3.Abandon()
 	if tb.Deliver("k2", []byte("res")) {

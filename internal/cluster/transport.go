@@ -10,6 +10,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"repro/internal/dtrace"
 )
 
 // Cluster protocol paths. The cache path is public-ish (any node may fetch
@@ -56,10 +58,13 @@ type StealRequest struct {
 }
 
 // StealItem is one unit of transferable work: the content-addressed key and
-// an opaque payload the owning subsystem knows how to execute.
+// an opaque payload the owning subsystem knows how to execute. Traceparent
+// (optional) is the victim-side trace position, so the thief's execution
+// spans attach to the same distributed trace.
 type StealItem struct {
-	Key     string          `json:"key"`
-	Payload json.RawMessage `json:"payload"`
+	Key         string          `json:"key"`
+	Payload     json.RawMessage `json:"payload"`
+	Traceparent string          `json:"traceparent,omitempty"`
 }
 
 // StealResponse hands over the claimed items (possibly none).
@@ -111,6 +116,7 @@ func (t *Transport) postJSON(ctx context.Context, url string, in, out any) error
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	dtrace.Inject(ctx, req.Header)
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return err
@@ -149,6 +155,7 @@ func (t *Transport) FetchEntry(ctx context.Context, base, key string) (body []by
 	if err != nil {
 		return nil, false, err
 	}
+	dtrace.Inject(ctx, req.Header)
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return nil, false, err
@@ -180,6 +187,7 @@ func (t *Transport) DeliverEntry(ctx context.Context, base, key string, body []b
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ChecksumHeader, Checksum(body))
+	dtrace.Inject(ctx, req.Header)
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return err

@@ -1,0 +1,33 @@
+package dtrace
+
+import "testing"
+
+// FuzzTraceparent hammers the W3C traceparent parser with arbitrary input.
+// The parser must never panic, and any value it accepts must re-render to a
+// canonical form that parses back to the same identity (so a propagated
+// header survives arbitrarily many hops unchanged).
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01")
+	f.Add("traceparent")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("parser accepted %q but produced an invalid SpanContext %+v", s, sc)
+		}
+		rendered := sc.Traceparent()
+		back, err := ParseTraceparent(rendered)
+		if err != nil {
+			t.Fatalf("re-render of accepted input %q does not parse: %q: %v", s, rendered, err)
+		}
+		if back != sc {
+			t.Fatalf("round trip drifted: %q -> %+v -> %q -> %+v", s, sc, rendered, back)
+		}
+	})
+}

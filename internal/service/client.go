@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/experiments"
 	"repro/internal/progress"
 	"repro/internal/sim"
@@ -194,11 +195,22 @@ func (c *Client) Submit(ctx context.Context, req SimRequest) (JobView, error) {
 // trySubmit performs one POST /v1/sims attempt. retryAfter is non-zero when
 // the daemon rejected with explicit backpressure advice.
 func (c *Client) trySubmit(ctx context.Context, body []byte) (v JobView, retryAfter time.Duration, err error) {
+	// Each attempt is its own span; its context rides the traceparent header,
+	// so the daemon's job spans parent under the attempt that landed.
+	sctx, sp := dtrace.Start(ctx, "submit")
+	sp.Annotate(c.BaseURL)
+	defer func() {
+		if sp != nil {
+			sp.Fail(err)
+			sp.End()
+		}
+	}()
 	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sims", bytes.NewReader(body))
 	if err != nil {
 		return JobView{}, 0, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	dtrace.Inject(sctx, hr.Header)
 	resp, err := c.httpClient().Do(hr)
 	if err != nil {
 		return JobView{}, 0, err
@@ -254,6 +266,29 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 		return decodeError(resp)
 	}
 	return nil
+}
+
+// Flight fetches the daemon's span flight-recorder dump (GET /debug/flight),
+// optionally filtered to one trace ID. A daemon running without a recorder
+// answers 404, which is returned as an error.
+func (c *Client) Flight(ctx context.Context, trace string) ([]dtrace.SpanData, error) {
+	u := c.BaseURL + "/debug/flight"
+	if trace != "" {
+		u += "?trace=" + url.QueryEscape(trace)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return dtrace.ReadJSONL(resp.Body)
 }
 
 // Events subscribes to a job's SSE stream, invoking fn for every event until
@@ -372,10 +407,18 @@ type batchProgress struct {
 // results in job order. Only catalogue workloads can run remotely — a
 // trace-file replay's identity is its contents, which the daemon does not
 // have.
-func (c *Client) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt, tr *progress.Tracker) ([]sim.Result, error) {
+func (c *Client) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt, tr *progress.Tracker) (res []sim.Result, err error) {
 	req, err := buildSimRequest(ctx, cfg, jobs, opt)
 	if err != nil {
 		return nil, err
+	}
+	ctx, sp := dtrace.Start(ctx, "batch")
+	if sp != nil {
+		sp.Annotate(fmt.Sprintf("%d jobs", len(jobs)))
+		defer func() {
+			sp.Fail(err)
+			sp.End()
+		}()
 	}
 	return c.runBatch(ctx, req, len(jobs), tr, &batchProgress{})
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/dtrace"
 	"repro/internal/sim"
 	"repro/internal/simcache"
 )
@@ -43,6 +44,20 @@ const (
 
 // hit reports whether the outcome avoided any new simulation.
 func (o simOutcome) hit() bool { return o == simHitLocal || o == simHitRemote }
+
+// String names the outcome for span annotations.
+func (o simOutcome) String() string {
+	switch o {
+	case simHitLocal:
+		return "hit-local"
+	case simHitRemote:
+		return "hit-remote"
+	case simExecutedRemote:
+		return "executed-remote"
+	default:
+		return "executed-local"
+	}
+}
 
 // clusterSimPayload is everything a peer needs to execute one simulation —
 // the opaque work-item payload of the steal protocol and the body of the
@@ -112,7 +127,19 @@ func (s *Server) newClusterNode(opts cluster.Options) *cluster.Node {
 			if err != nil {
 				return nil, err
 			}
-			res, _, err := s.execUnit(ctx, pl.Config, u, pl.Opt)
+			// A traced victim hands its trace position along with the work:
+			// the thief's execution spans join the same distributed trace.
+			if psc, perr := dtrace.ParseTraceparent(item.Traceparent); perr == nil {
+				sp := s.cfg.Flight.StartSpan(psc, "steal.exec")
+				sp.Annotate(pl.Spec.Workload)
+				ctx = dtrace.NewContext(ctx, s.cfg.Flight, sp.Context())
+				defer func() {
+					sp.Fail(err)
+					sp.End()
+				}()
+			}
+			var res sim.Result
+			res, _, err = s.execUnit(ctx, pl.Config, u, pl.Opt)
 			if err != nil {
 				return nil, err
 			}
@@ -140,6 +167,10 @@ func (s *Server) simulate(ctx context.Context, cfg sim.Config, u unit, opt sim.R
 	// The local island first: it may hold the entry from an earlier fill.
 	if res, ok := s.cfg.Store.GetCounted(key); ok {
 		s.m.cacheHits.Add(1)
+		if _, sp := dtrace.Start(ctx, "cache.lookup"); sp != nil {
+			sp.Annotate("hit " + shortKey(key))
+			sp.End()
+		}
 		return res, simHitLocal, nil
 	}
 	if owner, self := s.cluster.Owner(key); !self {
@@ -150,6 +181,10 @@ func (s *Server) simulate(ctx context.Context, cfg sim.Config, u unit, opt sim.R
 		// strict ownership. The heartbeat loop re-forms the ring around the
 		// failure for subsequent keys.
 		s.cluster.CountFailover()
+		if _, sp := dtrace.Start(ctx, "failover"); sp != nil {
+			sp.Annotate(owner.ID)
+			sp.End()
+		}
 	}
 	return s.stealableSimulate(ctx, key, cfg, u, opt)
 }
@@ -167,7 +202,19 @@ func localOutcome(hit bool) simOutcome {
 // fail over to local execution; a requester-side context error is returned
 // as handled, since retrying locally cannot outlive the caller's deadline.
 func (s *Server) remoteSimulate(ctx context.Context, owner cluster.NodeInfo, key string, cfg sim.Config, u unit, opt sim.RunOpt) (sim.Result, simOutcome, error, bool) {
-	body, ok, err := s.cluster.FetchRemote(ctx, owner.URL, key)
+	// cache.fill wraps the cross-node entry fetch; the span's context rides
+	// the request header, so the owner's cache.serve span parents under it.
+	fctx, fillSpan := dtrace.Start(ctx, "cache.fill")
+	fillSpan.Annotate(owner.ID)
+	body, ok, err := s.cluster.FetchRemote(fctx, owner.URL, key)
+	if fillSpan != nil {
+		if err != nil {
+			fillSpan.Fail(err)
+		} else if !ok {
+			fillSpan.Annotate(owner.ID + " miss")
+		}
+		fillSpan.End()
+	}
 	if err == nil && ok {
 		var res sim.Result
 		if jerr := json.Unmarshal(body, &res); jerr == nil {
@@ -192,7 +239,13 @@ func (s *Server) remoteSimulate(ctx context.Context, owner cluster.NodeInfo, key
 			req.TimeoutMS = ms
 		}
 	}
-	resp, err := s.proxyExec(ctx, owner.URL, req)
+	pctx, proxySpan := dtrace.Start(ctx, "proxy.exec")
+	proxySpan.Annotate(owner.ID)
+	resp, err := s.proxyExec(pctx, owner.URL, req)
+	if proxySpan != nil {
+		proxySpan.Fail(err)
+		proxySpan.End()
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return sim.Result{}, simExecutedRemote, ctx.Err(), true
@@ -224,6 +277,7 @@ func (s *Server) proxyExec(ctx context.Context, base string, req clusterSimReque
 		return clusterSimResponse{}, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	dtrace.Inject(ctx, hr.Header)
 	resp, err := http.DefaultClient.Do(hr)
 	if err != nil {
 		return clusterSimResponse{}, err
@@ -251,7 +305,13 @@ func (s *Server) stealableSimulate(ctx context.Context, key string, cfg sim.Conf
 		res, hit, err := s.execUnit(ctx, cfg, u, opt)
 		return res, localOutcome(hit), err
 	}
-	p := s.cluster.Pending().Register(key, payload)
+	// A traced waiter registers its trace position with the work item, so a
+	// thief's steal.exec span lands in the same trace.
+	var tp string
+	if sc := dtrace.SpanContextFrom(ctx); sc.Valid() {
+		tp = sc.Traceparent()
+	}
+	p := s.cluster.Pending().Register(key, payload, tp)
 	select {
 	case s.simSem <- struct{}{}:
 		if p.Withdraw() {
@@ -275,7 +335,16 @@ func (s *Server) stealableSimulate(ctx context.Context, key string, cfg sim.Conf
 // awaitStolen waits out a claimed key, falling back to local execution if
 // the thief never delivers.
 func (s *Server) awaitStolen(ctx context.Context, key string, cfg sim.Config, u unit, opt sim.RunOpt, p *cluster.Pending) (sim.Result, simOutcome, error) {
-	if body, ok := p.Wait(ctx, s.cluster.StealTimeout()); ok {
+	_, waitSpan := dtrace.Start(ctx, "steal.wait")
+	waitSpan.Annotate(shortKey(key))
+	body, ok := p.Wait(ctx, s.cluster.StealTimeout())
+	if waitSpan != nil {
+		if !ok {
+			waitSpan.Annotate(shortKey(key) + " timeout")
+		}
+		waitSpan.End()
+	}
+	if ok {
 		return s.stolenResult(ctx, key, cfg, u, opt, body)
 	}
 	if err := ctx.Err(); err != nil {
@@ -326,10 +395,27 @@ func (s *Server) handleClusterSim(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	// A traced requester's proxy.exec span parents this node's execution:
+	// cluster.exec is the owner-side half of the hop.
+	if sc, ok := dtrace.Extract(r.Header); ok {
+		sp := s.cfg.Flight.StartSpan(sc, "cluster.exec")
+		sp.Annotate(req.Spec.Workload)
+		ctx = dtrace.NewContext(ctx, s.cfg.Flight, sp.Context())
+		defer sp.End()
+	}
 	res, hit, err := s.execUnit(ctx, req.Config, u, req.Opt)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, clusterSimResponse{Result: res, Hit: hit})
+}
+
+// shortKey truncates a content-addressed key to a span-annotation-sized
+// prefix; the digest prefix is enough to correlate against cache entries.
+func shortKey(key string) string {
+	if len(key) > 16 {
+		return key[:16]
+	}
+	return key
 }

@@ -2,9 +2,13 @@ package service
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -196,4 +200,100 @@ poll:
 	if got := nodes[0].srv.Cluster().Stats().Failovers; got == 0 {
 		t.Error("client node recorded no failovers despite the owner dying mid-batch")
 	}
+}
+
+// TestE2EClusterTrace runs a full figure against a traced 3-node cluster the
+// way `pexp -server a,b,c -trace-out` does and asserts the observability
+// contract: every client-started trace stitches into ONE connected span tree,
+// and at least one of them crosses nodes (the serving daemon plus the peer
+// that owned or computed a unit). When E2E_FLIGHT_DIR is set (CI does), each
+// node's flight-recorder dump is written there as a build artifact.
+func TestE2EClusterTrace(t *testing.T) {
+	recs := make([]*dtrace.Recorder, 3)
+	nodes := startCluster(t, 3, nil, func(i int, cfg *Config) {
+		cfg.Workers = 4
+		cfg.SimParallelism = 8
+		recs[i] = dtrace.NewRecorder(fmt.Sprintf("node%d", i), 0)
+		cfg.Flight = recs[i]
+		cfg.Cluster.Flight = recs[i]
+	})
+
+	ws, err := experiments.WorkloadsByName([]string{"milc", "soplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := experiments.DefaultOptions()
+	o.Warmup = 20_000
+	o.Instructions = 80_000
+	o.Parallelism = 4
+	o.Workloads = ws
+
+	endpoints := make([]string, len(nodes))
+	for i, cn := range nodes {
+		endpoints[i] = cn.hs.URL
+	}
+	mc, err := NewMultiClient(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Remote = mc
+	client := dtrace.NewRecorder("pexp", 0)
+	o.Context = dtrace.NewContext(context.Background(), client, dtrace.SpanContext{})
+	if _, err := experiments.Figure2(o); err != nil {
+		t.Fatal(err)
+	}
+
+	sets := [][]dtrace.SpanData{client.Snapshot(dtrace.Filter{})}
+	for _, r := range recs {
+		sets = append(sets, r.Snapshot(dtrace.Filter{}))
+	}
+	spans := dtrace.Stitch(sets...)
+
+	if dir := os.Getenv("E2E_FLIGHT_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range append([]*dtrace.Recorder{client}, recs...) {
+			name := "pexp"
+			if i > 0 {
+				name = fmt.Sprintf("node%d", i-1)
+			}
+			f, err := os.Create(filepath.Join(dir, name+"-flight.jsonl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.WriteJSONL(f, dtrace.Filter{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	traces := dtrace.TraceIDs(sets[0])
+	if len(traces) == 0 {
+		t.Fatal("client recorded no traces")
+	}
+	crossed := 0
+	for _, tr := range traces {
+		st := dtrace.TreeOf(tr, spans)
+		if !st.Connected() {
+			t.Errorf("trace %s: %d spans, %d roots, %d orphans over %v — want one connected tree",
+				tr, st.Spans, st.Roots, st.Orphans, st.Nodes)
+		}
+		daemons := 0
+		for _, n := range st.Nodes {
+			if n != "pexp" {
+				daemons++
+			}
+		}
+		if daemons >= 2 {
+			crossed++
+		}
+	}
+	if crossed == 0 {
+		t.Errorf("no trace covered 2+ daemon nodes — cross-node hops (cache.fill/proxy.exec) lost the traceparent")
+	}
+	t.Logf("stitched %d spans across %d traces; %d trace(s) crossed nodes", len(spans), len(traces), crossed)
 }

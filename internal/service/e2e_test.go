@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/dtrace"
 	"repro/internal/experiments"
 	"repro/internal/simcache"
 )
@@ -23,7 +24,10 @@ func TestE2EServerParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Config{Store: store, Workers: 4, SimParallelism: 8})
+	// The flight recorder stays on for the whole test: tracing must never
+	// perturb results (the figures below are compared byte-for-byte).
+	srv := New(Config{Store: store, Workers: 4, SimParallelism: 8,
+		Flight: dtrace.NewRecorder("e2e", 0)})
 	srv.Start()
 	t.Cleanup(srv.Close)
 	hs := httptest.NewServer(srv.Handler())

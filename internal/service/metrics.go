@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // latWindow is how many recent job latencies back the p50/p99 estimates.
@@ -34,9 +36,17 @@ type metrics struct {
 	latMu sync.Mutex
 	lats  [latWindow]float64 // seconds, ring buffer
 	latN  uint64             // total observations
+
+	// queueWait distributes admission-to-pickup delay: how long jobs sit in
+	// the admission queue before a worker starts them. Under load this is
+	// the histogram that says whether the queue bound or the worker pool is
+	// the bottleneck.
+	queueWait cluster.Histogram
 }
 
-func newMetrics() metrics { return metrics{start: time.Now()} }
+func newMetrics() metrics {
+	return metrics{start: time.Now(), queueWait: cluster.NewLatencyHistogram()}
+}
 
 // observeLatency records one finished job's wall-clock duration.
 func (m *metrics) observeLatency(d time.Duration) {
@@ -129,6 +139,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 		rate = float64(m.simsExecuted.Load()) / uptime
 	}
 	gauge("psimd_sims_per_second", "Executed simulations per second of uptime.", fmt.Sprintf("%.3f", rate))
+
+	m.queueWait.Write(w, "psimd_queue_wait_seconds",
+		"Seconds between job admission and worker pickup.")
 
 	q := m.quantiles(0.5, 0.99)
 	fmt.Fprintf(w, "# HELP psimd_job_latency_seconds Recent job wall-clock latency quantiles.\n# TYPE psimd_job_latency_seconds gauge\n")

@@ -151,6 +151,7 @@ var baseFamilies = []string{
 	"psimd_live_sims", "psimd_live_ipc", "psimd_live_cross4k_rate",
 	"psimd_live_hit_ratio",
 	"psimd_uptime_seconds", "psimd_sims_per_second",
+	"psimd_queue_wait_seconds",
 	"psimd_job_latency_seconds",
 }
 
@@ -185,6 +186,14 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	if got := seen["psimd_live_hit_ratio"]; got != 3 {
 		t.Errorf("psimd_live_hit_ratio has %d samples, want 3 (one per level)", got)
+	}
+	// 13 bounded buckets + the +Inf bucket + _sum + _count, and the finished
+	// job must have been observed.
+	if got := seen["psimd_queue_wait_seconds"]; got != 16 {
+		t.Errorf("queue wait histogram has %d samples, want 16", got)
+	}
+	if !strings.Contains(body, "psimd_queue_wait_seconds_count 1") {
+		t.Errorf("/metrics missing queue wait observation for the finished job")
 	}
 
 	// The stub results flow into the completed-sim prefetch counters.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/experiments"
 	"repro/internal/progress"
 	"repro/internal/sim"
@@ -71,10 +72,21 @@ func (m *MultiClient) Endpoints() []string {
 // (endpoint unreachable, 5xx, job lost mid-flight) moves it to the following
 // endpoint. After a full cycle of failures the schedule backs off
 // exponentially before the next cycle, up to Backoff.Retries cycles.
-func (m *MultiClient) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt, tr *progress.Tracker) ([]sim.Result, error) {
+func (m *MultiClient) RunBatch(ctx context.Context, cfg sim.Config, jobs []experiments.Job, opt sim.RunOpt, tr *progress.Tracker) (res []sim.Result, err error) {
 	req, err := buildSimRequest(ctx, cfg, jobs, opt)
 	if err != nil {
 		return nil, err
+	}
+	// One batch span roots the whole failover saga; each (re)submission is a
+	// child batch.attempt naming its endpoint, so a stitched trace shows
+	// exactly which endpoints the batch tried and where it landed.
+	ctx, batchSpan := dtrace.Start(ctx, "batch")
+	if batchSpan != nil {
+		batchSpan.Annotate(fmt.Sprintf("%d jobs", len(jobs)))
+		defer func() {
+			batchSpan.Fail(err)
+			batchSpan.End()
+		}()
 	}
 	bp := &batchProgress{}
 	start := int(m.next.Add(1)-1) % len(m.clients)
@@ -82,7 +94,19 @@ func (m *MultiClient) RunBatch(ctx context.Context, cfg sim.Config, jobs []exper
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		c := m.clients[(start+attempt)%len(m.clients)]
-		res, err := c.runBatch(ctx, req, len(jobs), tr, bp)
+		actx, asp := dtrace.Start(ctx, "batch.attempt")
+		if asp != nil {
+			ref := c.BaseURL
+			if attempt > 0 {
+				ref = "retry " + c.BaseURL
+			}
+			asp.Annotate(ref)
+		}
+		res, err := c.runBatch(actx, req, len(jobs), tr, bp)
+		if asp != nil {
+			asp.Fail(err)
+			asp.End()
+		}
 		if err == nil {
 			return res, nil
 		}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"repro/internal/cluster"
+	"repro/internal/dtrace"
 )
 
 // decodeSimRequest parses a POST /v1/sims body. Factored out of the handler
@@ -31,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	if s.cluster != nil {
 		// Peer-facing endpoints: membership gossip, work stealing, the
 		// cross-node cache protocol, and owner-routed simulation.
@@ -66,7 +68,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
 		return
 	}
-	j, err := s.submit(req)
+	// A traceparent header parents every server-side span of this batch
+	// under the caller's trace; Extract degrades malformed values to
+	// untraced rather than corrupting the trace identity.
+	tsc, _ := dtrace.Extract(r.Header)
+	j, err := s.submit(req, tsc)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: tell the client when to come back rather than
@@ -162,4 +168,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.writeMetrics(w)
+}
+
+// handleFlight serves the node's span flight recorder as JSONL, one SpanData
+// per line, oldest-first. Query parameters filter the dump:
+//
+//	?trace=<32 hex>  only spans of that trace
+//	?errors=1        only failed spans
+//	?limit=N         the newest N spans after the other filters
+//
+// 404 when the daemon runs without a recorder (Config.Flight nil).
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Flight == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"flight recorder disabled"})
+		return
+	}
+	f := dtrace.Filter{Trace: r.URL.Query().Get("trace")}
+	if v := r.URL.Query().Get("errors"); v == "1" || v == "true" {
+		f.ErrorsOnly = true
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{"bad limit"})
+			return
+		}
+		f.Limit = n
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	_ = s.cfg.Flight.WriteJSONL(w, f)
 }

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/sim"
 	"repro/internal/simcache"
 	"repro/internal/telemetry"
@@ -72,6 +73,13 @@ type Config struct {
 	// nodes steal queued work. Requires Store (the ring routes over cache
 	// keys); ignored without one.
 	Cluster *cluster.Options
+	// Flight, when non-nil, is this daemon's span flight recorder: every
+	// request path (admission, queue wait, simulation, cluster hops) records
+	// spans into it, a traceparent header on POST /v1/sims parents them under
+	// the caller's trace, and GET /debug/flight serves the retained spans.
+	// Nil (the default) disables tracing for free — the recording paths are
+	// nil-check no-ops.
+	Flight *dtrace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +190,13 @@ type jobState struct {
 	opt     sim.RunOpt
 	units   []unit
 	timeout time.Duration
+
+	// enqueuedAt is when admission accepted the job; the queue-wait
+	// histogram and the job.queue_wait span measure from it.
+	enqueuedAt time.Time
+	// tsc is the submitting client's trace position (zero when the request
+	// carried no traceparent); the job's spans parent under it.
+	tsc dtrace.SpanContext
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -332,8 +347,9 @@ func (s *Server) worker() {
 	}
 }
 
-// Submit validates and enqueues a request, returning the queued job.
-func (s *Server) submit(req SimRequest) (*jobState, error) {
+// Submit validates and enqueues a request, returning the queued job. tsc is
+// the caller's trace position (zero for untraced requests).
+func (s *Server) submit(req SimRequest, tsc dtrace.SpanContext) (*jobState, error) {
 	units, err := validateSimRequest(req, s.cfg.MaxBatch)
 	if err != nil {
 		return nil, err
@@ -349,6 +365,7 @@ func (s *Server) submit(req SimRequest) (*jobState, error) {
 	j := &jobState{
 		cfg: cfg, opt: req.Opt, units: units, timeout: timeout,
 		status: StatusQueued, changed: make(chan struct{}),
+		enqueuedAt: time.Now(), tsc: tsc,
 	}
 
 	s.mu.Lock()
@@ -516,6 +533,19 @@ func (s *Server) runJob(j *jobState) {
 	j.emitLocked("running")
 	j.mu.Unlock()
 
+	s.m.queueWait.Observe(time.Since(j.enqueuedAt).Seconds())
+	// job.run is the server-side root of the job's span tree, parented under
+	// the submitting client's span when the request carried a traceparent.
+	// job.queue_wait hangs off it, backdated to admission, so the trace shows
+	// how long the batch sat before a worker picked it up.
+	runSpan := s.cfg.Flight.StartSpan(j.tsc, "job.run")
+	runSpan.Annotate(j.id)
+	if qs := s.cfg.Flight.StartSpan(runSpan.Context(), "job.queue_wait"); qs != nil {
+		qs.SetStart(j.enqueuedAt)
+		qs.End()
+	}
+	ctx = dtrace.NewContext(ctx, s.cfg.Flight, runSpan.Context())
+
 	s.m.jobsRunning.Add(1)
 	start := time.Now()
 	results := make([]sim.Result, len(j.units))
@@ -528,12 +558,24 @@ func (s *Server) runJob(j *jobState) {
 			if errs[i] = ctx.Err(); errs[i] != nil {
 				return
 			}
+			uctx, sp := dtrace.Start(ctx, "sim")
+			if sp != nil {
+				sp.Annotate(u.w.Name + " " + u.spec.Base)
+			}
 			// simulate owns slot acquisition: routing decides whether this
 			// unit needs a local execution slot at all (a cluster peer may
 			// serve or compute it instead), and hit/executed accounting
 			// happens at the point the outcome is known.
 			var outcome simOutcome
-			results[i], outcome, errs[i] = s.simulate(ctx, j.cfg, u, j.opt)
+			results[i], outcome, errs[i] = s.simulate(uctx, j.cfg, u, j.opt)
+			if sp != nil {
+				if errs[i] != nil {
+					sp.Fail(errs[i])
+				} else {
+					sp.Annotate(u.w.Name + " " + outcome.String())
+				}
+				sp.End()
+			}
 			if errs[i] == nil {
 				s.m.pfIssued.Add(results[i].Engine.Issued)
 				s.m.pfCross4K.Add(results[i].Engine.CrossedPage4K)
@@ -546,6 +588,8 @@ func (s *Server) runJob(j *jobState) {
 	s.m.observeLatency(time.Since(start))
 
 	err := errors.Join(errs...)
+	runSpan.Fail(err)
+	runSpan.End()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cancel = nil
@@ -590,14 +634,24 @@ func (s *Server) execHeld(ctx context.Context, cfg sim.Config, u unit, opt sim.R
 	if err := ctx.Err(); err != nil {
 		return sim.Result{}, false, err
 	}
+	// simEnd is set iff run executed on this goroutine (we were the flight
+	// leader); the store write then spans [simEnd, DoContext return].
+	var simEnd time.Time
 	run := func(ctx context.Context) (sim.Result, error) {
+		rctx, rs := dtrace.Start(ctx, "sim.run")
 		if !s.cfg.DisableTelemetry {
+			_, ts := dtrace.Start(rctx, "telemetry.attach")
 			col := telemetry.NewCollector()
 			s.addLive(col)
 			defer s.removeLive(col)
-			ctx = sim.WithInstrumentation(ctx, &sim.Instrumentation{Collector: col})
+			rctx = sim.WithInstrumentation(rctx, &sim.Instrumentation{Collector: col})
+			ts.End()
 		}
-		return s.simFn(ctx, cfg, u.spec, u.w, opt)
+		r, err := s.simFn(rctx, cfg, u.spec, u.w, opt)
+		rs.Fail(err)
+		rs.End()
+		simEnd = time.Now()
+		return r, err
 	}
 	if s.cfg.Store == nil {
 		r, err := run(ctx)
@@ -607,6 +661,15 @@ func (s *Server) execHeld(ctx context.Context, cfg sim.Config, u unit, opt sim.R
 		return r, false, err
 	}
 	res, hit, err := s.cfg.Store.DoContext(ctx, simcache.Key(cfg, u.spec, u.w, opt), run)
+	if err == nil && !hit && !simEnd.IsZero() {
+		// The store serialized and persisted the entry between the run's end
+		// and DoContext returning; record that window as the cache.store span.
+		if rec := dtrace.RecorderFrom(ctx); rec != nil {
+			st := rec.StartSpan(dtrace.SpanContextFrom(ctx), "cache.store")
+			st.SetStart(simEnd)
+			st.End()
+		}
+	}
 	if err == nil {
 		if hit {
 			s.m.cacheHits.Add(1)

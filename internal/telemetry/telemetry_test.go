@@ -6,6 +6,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/tracecheck"
 )
 
 func TestCounterGaugeNilSafe(t *testing.T) {
@@ -259,36 +261,10 @@ func TestChromeTraceStructure(t *testing.T) {
 	if err := tr.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var events []map[string]any
-	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
-		t.Fatalf("chrome trace is not a JSON array: %v", err)
-	}
+	// Structural validation is shared with the dtrace exporter: one
+	// definition of Perfetto-loadable across the repo.
+	events := tracecheck.ValidateChromeTrace(t, buf.Bytes())
 	if len(events) != 4 {
 		t.Fatalf("events = %d, want 4", len(events))
-	}
-	lastTS := -1.0
-	for i, e := range events {
-		for _, key := range []string{"ph", "ts", "name"} {
-			if _, ok := e[key]; !ok {
-				t.Fatalf("event %d missing %q: %v", i, key, e)
-			}
-		}
-		ts := e["ts"].(float64)
-		if ts < lastTS {
-			t.Fatalf("timestamps not monotonic: %v after %v", ts, lastTS)
-		}
-		lastTS = ts
-		switch e["ph"] {
-		case "X":
-			if e["dur"].(float64) <= 0 {
-				t.Errorf("complete event %d has non-positive dur", i)
-			}
-		case "i":
-			if e["s"] != "t" {
-				t.Errorf("instant event %d missing scope", i)
-			}
-		default:
-			t.Errorf("event %d has unexpected phase %v", i, e["ph"])
-		}
 	}
 }
