@@ -19,10 +19,10 @@ vet:
 
 # fuzz-seeds replays every checked-in fuzz seed corpus as plain tests (no
 # fuzzing engine) under the race detector, catching trace-format,
-# batch-decoder, submit-decoder, flat-page-table and traceparent-parser
-# regressions deterministically.
+# batch-decoder, submit-decoder, flat-page-table, traceparent-parser,
+# pangloss-delta-cache and vamp-region-map regressions deterministically.
 fuzz-seeds:
-	$(GO) test -race -run=Fuzz ./internal/trace/ ./internal/service/ ./internal/vm/ ./internal/dtrace/
+	$(GO) test -race -run=Fuzz ./internal/trace/ ./internal/service/ ./internal/vm/ ./internal/dtrace/ ./internal/prefetch/pangloss/ ./internal/prefetch/vamp/
 
 # bench runs the pinned workload×prefetcher microbenchmark suite and writes
 # BENCH_<date>.json (see cmd/pbench -h for comparing against a baseline).
@@ -43,7 +43,7 @@ bench-compare:
 # much); alloc counts are deterministic enough to gate.
 bench-smoke:
 	$(GO) run ./cmd/pbench -smoke -out BENCH_smoke.json \
-		-compare BENCH_2026-08-06_smoke.json -max-allocs-ratio 2
+		-compare BENCH_2026-08-07_smoke.json -max-allocs-ratio 2
 
 # golden-update regenerates the checked-in figure snapshots after an
 # intentional figure change. Inspect the diff before committing.

@@ -62,6 +62,13 @@ var pins = []pin{
 	{Workload: "soplex", Spec: sim.PrefSpec{Base: "vldp", Variant: core.Original}},
 	{Workload: "pr.road", Spec: sim.PrefSpec{Base: "bop", Variant: core.PSA}},
 	{Workload: "bwaves", Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA, L1: sim.L1IPCPPP}},
+	// The crossing families: pangloss under dueling exercises both delta-cache
+	// geometries plus the sampling-duel machinery on an irregular workload;
+	// vamp exercises the virtual-candidate issue path (TLB probe + translation
+	// per crossing candidate). Both run under -smoke so the CI gate watches the
+	// new paths.
+	{Workload: "pr.road", Spec: sim.PrefSpec{Base: "pangloss", Variant: core.PSASD}, Smoke: true},
+	{Workload: "milc", Spec: sim.PrefSpec{Base: "vamp", Variant: core.PSA}, Smoke: true},
 }
 
 // Bench is one benchmark's measurements.

@@ -125,7 +125,7 @@ func run() int {
 		mixes      = flag.Int("mixes", 20, "multi-core mixes for fig14/fig15")
 		wl         = flag.String("workloads", "", "comma-separated workload subset (default: all intensive)")
 		check      = flag.Bool("check", false, "verify the paper-shape invariants and exit nonzero on violation")
-		base       = flag.String("base", "", "prefetcher for per-prefetcher studies (fig8): spp, vldp, ppf, bop, sms, ampm, temporal")
+		base       = flag.String("base", "", "prefetcher for per-prefetcher studies (fig8): spp, vldp, ppf, bop, sms, ampm, temporal, pangloss, vamp")
 		htmlOut    = flag.String("html", "", "also write an HTML report (with SVG charts) to this file")
 		noCache    = flag.Bool("no-cache", false, "disable the simulation result cache")
 		cacheDir   = flag.String("cache-dir", defaultCacheDir(), "simulation result cache directory")

@@ -102,7 +102,7 @@ func run() int {
 		workload    = flag.String("workload", "", "workload name (see -workloads)")
 		traceFile   = flag.String("trace", "", "replay a recorded PSAT trace instead of a generator")
 		thpFrac     = flag.Float64("thp", 0.85, "THP 2MB fraction when replaying a trace")
-		pref        = flag.String("pref", "spp", "L2 prefetcher: none, spp, vldp, ppf, bop")
+		pref        = flag.String("pref", "spp", "L2 prefetcher: none, spp, vldp, ppf, bop, sms, ampm, temporal, pangloss, vamp")
 		variant     = flag.String("variant", "psa-sd", "variant: original, psa, psa-2mb, psa-sd, psa-magic, psa-magic-2mb, sd-standard, sd-page-size, iso")
 		l1          = flag.String("l1", "", "L1D prefetcher: nextline, ipcp, ipcp++ (empty: none)")
 		warmup      = flag.Uint64("warmup", 250_000, "warm-up instructions")

@@ -129,6 +129,15 @@ const (
 // missed-opportunity accounting.
 type Oracle func(mem.Addr) mem.PageSize
 
+// Translator resolves a virtual candidate address to its physical address
+// and residing page size. Implementations must be side-effect-free beyond a
+// TLB probe and must never walk the page table: ok is false when the
+// translation is not TLB-resident, and the engine then drops the candidate.
+// The assembled system wires vm.MMU.ResidentTranslate; a nil translator
+// restricts virtual candidates to the trigger's own 4KB page, whose frame is
+// known from the trigger.
+type Translator func(v mem.Addr) (paddr mem.Addr, size mem.PageSize, ok bool)
+
 // Stats aggregates the engine's counters.
 type Stats struct {
 	Proposed          uint64 // candidates proposed by the prefetcher(s)
@@ -145,7 +154,16 @@ type Stats struct {
 	// CrossedPage4K counts issued prefetches whose target lies outside the
 	// trigger's 4KB page — exactly the prefetches page-size awareness
 	// unlocks, and the core signal behind the paper's coverage gains.
+	// Virtual-side crossings (translated VA candidates) land here too, so
+	// PPM physical crossing and VA crossing share one telemetry axis.
 	CrossedPage4K uint64
+	// VAIssued counts issued prefetches that originated as virtual-address
+	// candidates (translated before issue); DiscardedUntranslated counts
+	// virtual candidates dropped because the target page's translation was
+	// not TLB-resident — the probe gate that keeps VA prefetching from ever
+	// forcing a page walk.
+	VAIssued              uint64
+	DiscardedUntranslated uint64
 	// PPM4K/PPM2M/PPM1G count trigger accesses whose PPM bit carried each
 	// page size to the engine (propagations by page size).
 	PPM4K, PPM2M, PPM1G uint64
@@ -173,6 +191,10 @@ type Engine struct {
 	llc     *cache.Cache
 	oracle  Oracle
 	core    int
+
+	// translator resolves virtual candidates (TLB-probe-gated); nil outside
+	// an assembled system.
+	translator Translator
 
 	// pA is the 4KB-indexed prefetcher; pB the 2MB-indexed one (nil unless
 	// the variant duels or is PSA2MB/Magic2MB, which use only pB).
@@ -249,6 +271,10 @@ func New(factory prefetch.Factory, v Variant, l2, llc *cache.Cache, oracle Oracl
 // Variant returns the engine's configured variant.
 func (e *Engine) Variant() Variant { return e.variant }
 
+// SetTranslator installs the virtual-candidate translator. Call before the
+// first access; the engine never mutates it afterwards.
+func (e *Engine) SetTranslator(tr Translator) { e.translator = tr }
+
 // Csel returns the current selection counter (for tests and diagnostics).
 func (e *Engine) Csel() int { return e.csel }
 
@@ -308,8 +334,15 @@ func (e *Engine) OnAccess(info cache.AccessInfo) {
 		}
 	}
 	size := e.effectiveSize(req)
+	va := req.VAddr
+	if va == 0 {
+		// Harnesses without translation leave VAddr unset; virtual-side
+		// prefetchers then see the physical stream as an identity mapping.
+		va = req.PAddr
+	}
 	ctx := prefetch.Context{
 		Addr:     mem.BlockAlign(req.PAddr),
+		VAddr:    mem.BlockAlign(va),
 		PC:       req.PC,
 		Hit:      info.Hit,
 		Type:     req.Type,
@@ -400,7 +433,41 @@ func (e *Engine) issueCandidate(c prefetch.Candidate) {
 	trigger := e.opCtx.Addr
 	size := e.opSize
 	e.Stats.Proposed++
-	if !mem.SamePage(trigger, c.Addr, size) {
+	paddr := c.Addr
+	psize := size
+	var vaddr mem.Addr
+	if c.Virtual {
+		// Virtual-side candidate: the boundary policy and translation run in
+		// virtual address space. Variants without page-size machinery stop at
+		// the trigger's 4KB virtual page; every other variant ranges over the
+		// 2MB generation region, gated not by the PPM bit but by the
+		// candidate page's own translation being TLB-resident — the VA-side
+		// answer to the same 4KB boundary problem.
+		vtrig := e.opCtx.VAddr
+		crossesVA := !mem.SamePage(vtrig, c.Addr, mem.Page4K)
+		hardVA := e.variant == Original || e.variant == ISOStorage
+		if (crossesVA && hardVA) || !prefetch.InGenLimit(vtrig, c.Addr) {
+			e.Stats.DiscardedBoundary++
+			return
+		}
+		if !crossesVA {
+			// Same 4KB virtual page as the trigger: virtual and physical
+			// addresses share the page offset, so the trigger's own frame
+			// resolves the candidate without a probe.
+			paddr = mem.PageBase(trigger, mem.Page4K) | (c.Addr & (mem.PageSize4K - 1))
+		} else {
+			var ok bool
+			if e.translator != nil {
+				paddr, psize, ok = e.translator(c.Addr)
+			}
+			if !ok {
+				e.Stats.DiscardedUntranslated++
+				return
+			}
+			paddr = mem.BlockAlign(paddr)
+		}
+		vaddr = c.Addr
+	} else if !mem.SamePage(trigger, c.Addr, size) {
 		// The candidate crosses the enforced boundary: discard. If the
 		// block actually resides in a 2MB page and the candidate stays
 		// inside it, page-size awareness would have saved this prefetch.
@@ -414,11 +481,14 @@ func (e *Engine) issueCandidate(c prefetch.Candidate) {
 	}
 	// Candidates already present (or in flight) at the target level are
 	// dropped before consuming a prefetch-queue slot.
-	if e.l2.Contains(c.Addr) || (!c.FillL2 && e.llc.Contains(c.Addr)) {
+	if e.l2.Contains(paddr) || (!c.FillL2 && e.llc.Contains(paddr)) {
 		return
 	}
 	e.Stats.Issued++
-	crossed := !mem.SamePage(trigger, c.Addr, mem.Page4K)
+	if c.Virtual {
+		e.Stats.VAIssued++
+	}
+	crossed := !mem.SamePage(trigger, paddr, mem.Page4K)
 	if crossed {
 		e.Stats.CrossedPage4K++
 	}
@@ -441,11 +511,12 @@ func (e *Engine) issueCandidate(c prefetch.Candidate) {
 	}
 	req := e.pfPool.GetDirty()
 	*req = mem.Request{
-		PAddr:         c.Addr,
+		PAddr:         paddr,
+		VAddr:         vaddr,
 		PC:            e.opCtx.PC,
 		Type:          mem.Prefetch,
 		Core:          e.core,
-		PageSize:      size,
+		PageSize:      psize,
 		PageSizeKnown: true,
 		FillL2:        c.FillL2,
 		PrefID:        e.opID,

@@ -55,6 +55,48 @@ func TestWarmCacheRunsZeroSims(t *testing.T) {
 	}
 }
 
+// TestWarmCacheCrossingStudy repeats the zero-sims warm-replay check for the
+// crossing study: its jobs mix physical (pangloss) and virtual (vamp)
+// candidate paths, so this also proves the new engine statistics survive the
+// cache's JSON round trip byte-identically.
+func TestWarmCacheCrossingStudy(t *testing.T) {
+	dir := t.TempDir()
+	o := tinyOptions(t)
+	o.Workloads = o.Workloads[:2]
+	o.Warmup = 20_000
+	o.Instructions = 80_000
+
+	cold, err := simcache.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Cache = cold
+	r1, err := Crossing(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Misses == 0 {
+		t.Fatalf("cold run executed no sims: %+v", s)
+	}
+
+	warm, err := simcache.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Cache = warm
+	r2, err := Crossing(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := warm.Stats()
+	if s.Misses != 0 {
+		t.Errorf("warm run executed %d sims, want 0", s.Misses)
+	}
+	if r1.Render() != r2.Render() {
+		t.Error("cached crossing study differs from simulated study")
+	}
+}
+
 // TestCachedBatchMatchesUncached: results served through the cache must be
 // indistinguishable from direct simulation, including single-flight-shared
 // duplicates within one batch.

@@ -21,6 +21,12 @@ func detJobs(t *testing.T, o Options) []Job {
 			Job{Workload: w, Spec: sim.PrefSpec{Base: "none"}},
 			Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA}},
 			Job{Workload: w, Spec: sim.PrefSpec{Base: "bop", Variant: core.PSASD}},
+			// The two crossing families: pangloss exercises the Markov chain
+			// walker, vamp the virtual-candidate translation path (TLB-probe
+			// gated) — both must be as parallelism- and replay-deterministic
+			// as the original four.
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "pangloss", Variant: core.PSASD}},
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "vamp", Variant: core.PSA}},
 		)
 	}
 	return jobs
@@ -159,6 +165,8 @@ func TestFusedPathEquivalence(t *testing.T) {
 			Job{Workload: w, Spec: sim.PrefSpec{Base: "ppf", Variant: core.PSA}},
 			Job{Workload: w, Spec: sim.PrefSpec{Base: "vldp", Variant: core.Original}},
 			Job{Workload: w, Spec: sim.PrefSpec{Base: "spp", Variant: core.PSA2MB, L1: sim.L1IPCPPP}},
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "pangloss", Variant: core.PSA2MB}},
+			Job{Workload: w, Spec: sim.PrefSpec{Base: "vamp", Variant: core.PSASD}},
 		)
 	}
 

@@ -250,7 +250,7 @@ func speedupPct(base, variant float64) float64 {
 var Names = []string{
 	"fig2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "nonintensive", "table1",
-	"ablation", "extensions",
+	"ablation", "extensions", "crossing",
 }
 
 // Renderer is any experiment result that can print itself.
@@ -301,6 +301,8 @@ func Run(name string, o Options) (Renderer, error) {
 		return Ablation(o)
 	case "extensions":
 		return Extensions(o)
+	case "crossing":
+		return Crossing(o)
 	case "table1":
 		return TableI(o)
 	}

@@ -31,12 +31,12 @@ func goldenOptions(t *testing.T) Options {
 	return o
 }
 
-// TestGoldenFigures snapshot-tests Render() for Figure 2, Figure 8, and
-// Table 1 at a tiny fixed-seed scale, so a figure-shape regression (changed
-// metric derivation, broken aggregation, perturbed simulation) fails CI
-// instead of waiting for someone to eyeball results/.
+// TestGoldenFigures snapshot-tests Render() for Figure 2, Figure 8, the
+// crossing study, and Table 1 at a tiny fixed-seed scale, so a figure-shape
+// regression (changed metric derivation, broken aggregation, perturbed
+// simulation) fails CI instead of waiting for someone to eyeball results/.
 func TestGoldenFigures(t *testing.T) {
-	for _, name := range []string{"fig2", "fig8", "table1"} {
+	for _, name := range []string{"fig2", "fig8", "crossing", "table1"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			r, err := Run(name, goldenOptions(t))

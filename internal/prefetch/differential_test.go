@@ -1,0 +1,222 @@
+// Differential tests relating the page-size-aware variants to their
+// restricted counterparts at the engine level: identical demand streams into
+// separately assembled engine+cache stacks, with the full prefetch fill
+// sequence as the observable. Engine-level comparison (rather than sim-level)
+// keeps MSHR merge timing out of the picture: fills follow synchronously from
+// each access, so the equality claims are exact, not statistical.
+package prefetch_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/pangloss"
+	"repro/internal/prefetch/vamp"
+)
+
+// diffFill captures one prefetch fill. The fields are copied out inside the
+// lifecycle callback: the engine pools its request structs, so the event's
+// *mem.Request must not be dereferenced after the callback returns.
+type diffFill struct {
+	Block   mem.Addr
+	FillL2  bool
+	Crossed bool
+}
+
+// diffStack is one engine plus a private two-level cache stack, recording
+// every prefetch fill in order. The caches are sized so the test streams
+// never evict: cache contents grow monotonically, which the set-containment
+// arguments below rely on.
+type diffStack struct {
+	l2, llc *cache.Cache
+	engine  *core.Engine
+	fills   []diffFill
+}
+
+func newDiffStack(factory prefetch.Factory, variant core.Variant) *diffStack {
+	s := &diffStack{}
+	s.llc = cache.New(cache.Config{
+		Name: "llc", Sets: 8192, Ways: 16, Latency: 1, MSHREntries: 64,
+	}, nil)
+	s.l2 = cache.New(cache.Config{
+		Name: "l2", Sets: 4096, Ways: 16, Latency: 1, MSHREntries: 64,
+	}, s.llc)
+	s.engine = core.New(factory, variant, s.l2, s.llc, nil, 0)
+	s.l2.SetObserver(s.engine)
+	rec := &lifeRecorder{onFill: func(ev cache.LifecycleEvent) {
+		s.fills = append(s.fills, diffFill{
+			Block:   ev.Block,
+			FillL2:  ev.Req.FillL2,
+			Crossed: ev.Req.CrossedPage,
+		})
+	}}
+	s.l2.SetLifecycleObserver(rec)
+	s.llc.SetLifecycleObserver(rec)
+	return s
+}
+
+// access feeds one demand access; fills triggered by it are recorded
+// synchronously before this returns.
+func (s *diffStack) access(va, pa mem.Addr, size mem.PageSize, at mem.Cycle) {
+	req := &mem.Request{
+		PAddr:         pa,
+		VAddr:         va,
+		PC:            0x400000,
+		Type:          mem.Load,
+		Core:          0,
+		PageSize:      size,
+		PageSizeKnown: true,
+	}
+	s.l2.Access(req, at)
+}
+
+// TestVampClampEquivalence: vamp under the engine's Original variant (no
+// page-size knowledge, hard 4KB virtual boundary) must be byte-equivalent to
+// the Clamp4K-restricted vamp under PSA — the engine-side discard of every
+// crossing candidate and the prefetcher-side suppression are the same
+// function. The streams include page-edge strides, so the equivalence has
+// teeth: the Original stack must actually discard crossing candidates.
+func TestVampClampEquivalence(t *testing.T) {
+	unclamped := newDiffStack(vamp.Factory(vamp.DefaultConfig()), core.Original)
+	clampedCfg := vamp.DefaultConfig()
+	clampedCfg.Clamp4K = true
+	clamped := newDiffStack(vamp.Factory(clampedCfg), core.PSA)
+
+	// Identity mapping (VA == PA): virtual candidates inside the trigger's
+	// 4KB page resolve from the trigger's own frame, and no candidate in
+	// either stack ever reaches the translator (Original discards crossers
+	// at the boundary, Clamp4K suppresses them), so none is installed.
+	base := mem.Addr(0x40000000)
+	at := mem.Cycle(0)
+	feed := func(a mem.Addr) {
+		at += 100
+		unclamped.access(a, a, mem.Page2M, at)
+		clamped.access(a, a, mem.Page2M, at)
+	}
+	// Unit stride across eight 4KB pages: crossing candidates at every edge.
+	for i := 0; i < 8*64; i++ {
+		feed(base + mem.Addr(i)*mem.BlockSize)
+	}
+	// Stride-3 walk through two more pages, then a few re-touches.
+	for i := 0; i < 48; i++ {
+		feed(base + mem.Addr(8*64+i*3)*mem.BlockSize)
+	}
+	for i := 0; i < 32; i++ {
+		feed(base + mem.Addr(i*17%512)*mem.BlockSize)
+	}
+
+	if len(unclamped.fills) == 0 {
+		t.Fatal("no prefetch fills at all — the differential compared nothing")
+	}
+	if len(unclamped.fills) != len(clamped.fills) {
+		t.Fatalf("fill counts diverge: unclamped-Original %d, clamped-PSA %d",
+			len(unclamped.fills), len(clamped.fills))
+	}
+	for i := range unclamped.fills {
+		u, c := unclamped.fills[i], clamped.fills[i]
+		if u != c {
+			t.Fatalf("fill %d diverges: unclamped-Original %+v, clamped-PSA %+v", i, u, c)
+		}
+	}
+	us, cs := unclamped.engine.Stats, clamped.engine.Stats
+	if us.Issued != cs.Issued {
+		t.Errorf("issued counts diverge: %d vs %d", us.Issued, cs.Issued)
+	}
+	if us.DiscardedBoundary == 0 {
+		t.Error("Original stack discarded no crossing candidates (no teeth)")
+	}
+	if cs.DiscardedBoundary != 0 {
+		t.Errorf("clamped stack hit the engine boundary %d times; the clamp should suppress first",
+			cs.DiscardedBoundary)
+	}
+	if us.Proposed <= cs.Proposed {
+		t.Errorf("unclamped proposed %d <= clamped %d; crossing proposals should exist",
+			us.Proposed, cs.Proposed)
+	}
+	if us.CrossedPage4K != 0 || cs.CrossedPage4K != 0 {
+		t.Errorf("crossed fills in a 4KB-restricted differential: %d vs %d",
+			us.CrossedPage4K, cs.CrossedPage4K)
+	}
+}
+
+// TestPanglossPSACrossedFillsOnly: pangloss under PSA differs from pangloss
+// under Original exactly in the crossed-4KB fills. Pangloss state is a pure
+// function of the demand stream, so both engines see identical proposal
+// streams; with no evictions, the Original fill set is contained in the PSA
+// fill set, and every PSA-only fill crossed its trigger's 4KB page.
+func TestPanglossPSACrossedFillsOnly(t *testing.T) {
+	orig := newDiffStack(pangloss.Factory(pangloss.DefaultConfig()), core.Original)
+	psa := newDiffStack(pangloss.Factory(pangloss.DefaultConfig()), core.PSA)
+
+	base := mem.Addr(0x40000000)
+	at := mem.Cycle(0)
+	feed := func(a mem.Addr) {
+		at += 200
+		orig.access(a, a, mem.Page2M, at)
+		psa.access(a, a, mem.Page2M, at)
+	}
+	// Stride-8 walk through one 2MB region (crossing 4KB lines every 8
+	// accesses), then a +3/+1 alternation in a second region.
+	for i := 0; i < 256; i++ {
+		feed(base + mem.Addr(i*8)*mem.BlockSize)
+	}
+	second := base + mem.PageSize2M
+	off := 0
+	for i := 0; i < 128; i++ {
+		if i%2 == 0 {
+			off += 3
+		} else {
+			off++
+		}
+		feed(second + mem.Addr(off)*mem.BlockSize)
+	}
+
+	os, ps := orig.engine.Stats, psa.engine.Stats
+	if os.Proposed != ps.Proposed {
+		t.Fatalf("proposal streams diverge (%d vs %d) although pangloss state is demand-pure",
+			os.Proposed, ps.Proposed)
+	}
+	if os.CrossedPage4K != 0 {
+		t.Errorf("Original issued %d crossing prefetches", os.CrossedPage4K)
+	}
+	if ps.CrossedPage4K == 0 {
+		t.Error("PSA never crossed a 4KB line over a stride-8 walk (no teeth)")
+	}
+
+	origSet := map[mem.Addr]bool{}
+	for _, f := range orig.fills {
+		origSet[f.Block] = true
+		if f.Crossed {
+			t.Errorf("Original fill %#x marked as crossing", f.Block)
+		}
+	}
+	psaSet := map[mem.Addr]bool{}
+	psaCrossed := map[mem.Addr]bool{}
+	for _, f := range psa.fills {
+		psaSet[f.Block] = true
+		if f.Crossed {
+			psaCrossed[f.Block] = true
+		}
+	}
+	for b := range origSet {
+		if !psaSet[b] {
+			t.Errorf("block %#x prefetched under Original but never under PSA", b)
+		}
+	}
+	extra := 0
+	for b := range psaSet {
+		if origSet[b] {
+			continue
+		}
+		extra++
+		if !psaCrossed[b] {
+			t.Errorf("PSA-only fill %#x never crossed a 4KB line — PSA should differ in crossed fills only", b)
+		}
+	}
+	if extra == 0 {
+		t.Error("PSA fill set equals Original's; page-size awareness added nothing (no teeth)")
+	}
+}

@@ -1,0 +1,97 @@
+package pangloss
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// FuzzPanglossDeltaCache interprets fuzz bytes as a demand-access script and
+// drives the full train/observe/walk path, checking the table invariants
+// after every step: no panic, LFU counters strictly below the saturation
+// ceiling, every stored successor delta inside the tracked range, page-cache
+// offsets inside the indexing region, and proposals obeying the degree bound
+// and the generation limit.
+func FuzzPanglossDeltaCache(f *testing.F) {
+	seed := func(words ...uint32) []byte {
+		b := make([]byte, 4*len(words))
+		for i, w := range words {
+			binary.LittleEndian.PutUint32(b[4*i:], w)
+		}
+		return b
+	}
+	f.Add(seed(0, 1, 2, 3, 4, 5, 6, 7))                      // unit stride
+	f.Add(seed(0, 8, 16, 24, 32, 40, 48, 56, 64))            // 8-block stride
+	f.Add(seed(0, 3, 4, 7, 8, 11, 12, 15))                   // +3,+1 pattern
+	f.Add(seed(0, 1<<20, 2, 1<<21, 4, 1<<22, 6))             // page ping-pong
+	f.Add(seed(5, 5, 5, 5))                                  // same-block re-access
+	f.Add(seed(0, 200, 0, 200, 0, 200))                      // untracked jumps
+	f.Add([]byte{0x01})                                      // short tail
+	f.Add(seed(0xffffffff, 0, 0x80000000, 0x7fffffff, 1, 2)) // extremes
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := DefaultConfig()
+		cfg.PageSets = 4 // small tables: eviction and aliasing under pressure
+		cfg.PageWays = 2
+		cfg.DeltaWays = 4
+		bits := uint(mem.PageBits4K)
+		if len(data) > 0 && data[0]&1 != 0 {
+			bits = mem.PageBits2M
+		}
+		p := New(cfg, bits)
+
+		check := func(op string, addr mem.Addr) {
+			t.Helper()
+			for i, c := range p.dCount {
+				if c >= counterMax {
+					t.Fatalf("%s(%#x): LFU counter %d at way %d reached the ceiling", op, addr, c, i)
+				}
+				if c != 0 {
+					if d := p.dNext[i]; d == 0 || d > int32(cfg.MaxDelta) || d < -int32(cfg.MaxDelta) {
+						t.Fatalf("%s(%#x): stored successor delta %d out of range", op, addr, d)
+					}
+				}
+			}
+			limit := int32(1) << (bits - mem.BlockBits)
+			for i, tag := range p.pTag {
+				if tag == 0 {
+					continue
+				}
+				if off := p.pOff[i]; off < 0 || off >= limit {
+					t.Fatalf("%s(%#x): page-cache offset %d outside region", op, addr, off)
+				}
+				if d := p.pDelta[i]; d > int32(cfg.MaxDelta) || d < -int32(cfg.MaxDelta) {
+					t.Fatalf("%s(%#x): page-cache last delta %d out of range", op, addr, d)
+				}
+			}
+		}
+
+		for i := 0; i+4 <= len(data) && i < 400; i += 4 {
+			w := binary.LittleEndian.Uint32(data[i:])
+			// Blocks within a 16MB window: dense enough to collide pages.
+			addr := mem.Addr(w&(1<<18-1)) * mem.BlockSize
+			ctx := prefetch.Context{Addr: addr, VAddr: addr, Type: mem.Load, PageSize: mem.Page4K}
+			if w&(1<<31) != 0 {
+				p.Train(ctx)
+				check("Train", addr)
+				continue
+			}
+			issued := 0
+			p.Operate(ctx, func(c prefetch.Candidate) {
+				issued++
+				if !prefetch.InGenLimit(addr, c.Addr) {
+					t.Fatalf("Operate(%#x): candidate %#x outside the generation limit", addr, c.Addr)
+				}
+				if c.Virtual {
+					t.Fatalf("Operate(%#x): pangloss proposed a virtual candidate", addr)
+				}
+			})
+			if issued > cfg.Degree {
+				t.Fatalf("Operate(%#x): issued %d candidates, degree is %d", addr, issued, cfg.Degree)
+			}
+			check("Operate", addr)
+		}
+	})
+}

@@ -19,6 +19,12 @@ import "repro/internal/mem"
 type Context struct {
 	// Addr is the block-aligned physical address of the access.
 	Addr mem.Addr
+	// VAddr is the block-aligned virtual address of the access.
+	// Physical-side prefetchers ignore it; virtual-side prefetchers (vamp)
+	// train on it instead of Addr. The engine falls back to the physical
+	// address when a request carries no virtual address (harnesses without
+	// translation), so on the engine path VAddr is never zero.
+	VAddr mem.Addr
 	// PC is the program counter of the triggering instruction (propagated
 	// alongside the request).
 	PC mem.Addr
@@ -36,11 +42,17 @@ type Context struct {
 
 // Candidate is one proposed prefetch.
 type Candidate struct {
-	// Addr is the block-aligned physical address to prefetch.
+	// Addr is the block-aligned address to prefetch: physical by default,
+	// virtual when Virtual is set.
 	Addr mem.Addr
 	// FillL2 selects the fill level: true for L2 (high confidence), false
 	// for LLC only (moderate confidence).
 	FillL2 bool
+	// Virtual marks Addr as a virtual address. The engine must translate it
+	// before issue — gated on a TLB probe so speculation never forces a page
+	// walk — and the generation-limit and boundary contracts apply in
+	// virtual address space, against the trigger's VAddr.
+	Virtual bool
 }
 
 // GenLimitBits bounds candidate generation: no prefetcher may propose a

@@ -21,9 +21,11 @@ import (
 	"repro/internal/prefetch/ampm"
 	"repro/internal/prefetch/bop"
 	"repro/internal/prefetch/nextline"
+	"repro/internal/prefetch/pangloss"
 	"repro/internal/prefetch/ppf"
 	"repro/internal/prefetch/sms"
 	"repro/internal/prefetch/spp"
+	"repro/internal/prefetch/vamp"
 	"repro/internal/prefetch/vldp"
 )
 
@@ -43,6 +45,8 @@ func factories() map[string]prefetch.Factory {
 		"bop":      bop.Factory(bop.DefaultConfig()),
 		"sms":      sms.Factory(sms.DefaultConfig()),
 		"ampm":     ampm.Factory(ampm.DefaultConfig()),
+		"pangloss": pangloss.Factory(pangloss.DefaultConfig()),
+		"vamp":     vamp.Factory(vamp.DefaultConfig()),
 		"nextline": nextline.Factory(2),
 	}
 }
@@ -115,7 +119,7 @@ func TestTrainNeverProposes(t *testing.T) {
 		p.Operate(prefetch.Context{
 			Addr: base + 48*mem.BlockSize, Type: mem.Load, PageSize: mem.Page4K,
 		}, func(prefetch.Candidate) { n++ })
-		if name == "spp" || name == "vldp" {
+		if name == "spp" || name == "vldp" || name == "pangloss" || name == "vamp" {
 			if n == 0 {
 				t.Errorf("%s: no proposals after 48 training steps on a unit stride", name)
 			}
@@ -153,6 +157,8 @@ func maxDegree() map[string]int {
 		"bop":      bop.DefaultConfig().Degree,
 		"ampm":     ampm.DefaultConfig().Degree,
 		"sms":      sms.DefaultConfig().RegionBlocks,
+		"pangloss": pangloss.DefaultConfig().Degree,
+		"vamp":     vamp.DefaultConfig().Degree,
 		"nextline": 2, // factories() builds nextline.New(2)
 	}
 }
@@ -244,13 +250,15 @@ func (r *lifeRecorder) OnPrefetchLifecycle(_ string, ev cache.LifecycleEvent) {
 // the Original variant never crosses regardless of what the PPM says.
 func TestEngineBoundaryInvariant(t *testing.T) {
 	variants := []core.Variant{core.Original, core.PSA, core.PSA2MB, core.PSASD}
-	for _, base := range []string{"spp", "vldp"} {
+	for _, base := range []string{"spp", "vldp", "pangloss"} {
 		var factory prefetch.Factory
 		switch base {
 		case "spp":
 			factory = spp.Factory(spp.DefaultConfig())
 		case "vldp":
 			factory = vldp.Factory(vldp.DefaultConfig())
+		case "pangloss":
+			factory = pangloss.Factory(pangloss.DefaultConfig())
 		}
 		for _, variant := range variants {
 			variant := variant
@@ -319,6 +327,112 @@ func TestEngineBoundaryInvariant(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestEngineVABoundaryInvariant drives the engine with a virtual-address
+// prefetcher (vamp) behind a translator stub and asserts the virtual-side
+// boundary contract: every fill stays within the 2MB virtual generation
+// region of its trigger, the Original variant never crosses a 4KB virtual
+// page, a crossing fill only happens when the target page's translation is
+// TLB-resident, and every issued candidate is accounted as virtual.
+func TestEngineVABoundaryInvariant(t *testing.T) {
+	// Virtual and physical address spaces are offset by 4GB: the shift
+	// preserves 2MB alignment, so page geometry is identical on both sides
+	// and fills map back to virtual addresses by subtraction.
+	const shift = mem.Addr(1) << 32
+	resident := func(v mem.Addr) bool { return (v>>mem.PageBits4K)%4 != 3 }
+	translator := func(v mem.Addr) (mem.Addr, mem.PageSize, bool) {
+		if !resident(v) {
+			return 0, 0, false
+		}
+		size := mem.Page4K
+		if (v>>mem.PageBits2M)&1 == 1 {
+			size = mem.Page2M
+		}
+		return v + shift, size, true
+	}
+	for _, variant := range []core.Variant{core.Original, core.PSA, core.PSASD} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			llc := cache.New(cache.Config{
+				Name: "llc", Sets: 512, Ways: 8, Latency: 1, MSHREntries: 32,
+			}, nil)
+			l2 := cache.New(cache.Config{
+				Name: "l2", Sets: 256, Ways: 8, Latency: 1, MSHREntries: 16,
+			}, llc)
+			oracle := func(mem.Addr) mem.PageSize { return mem.Page4K }
+			e := core.New(vamp.Factory(vamp.DefaultConfig()), variant, l2, llc, oracle, 0)
+			e.SetTranslator(translator)
+			l2.SetObserver(e)
+
+			var vaTrigger, paTrigger mem.Addr
+			rec := &lifeRecorder{onFill: func(ev cache.LifecycleEvent) {
+				vaBlock := ev.Block - shift
+				if !prefetch.InGenLimit(vaTrigger, vaBlock) {
+					t.Errorf("fill %#x (VA %#x) escapes the 2MB virtual region of trigger VA %#x",
+						ev.Block, vaBlock, vaTrigger)
+				}
+				crossedVA := !mem.SamePage(vaBlock, vaTrigger, mem.Page4K)
+				if crossedVA && variant == core.Original {
+					t.Errorf("Original variant fill %#x crossed the 4KB virtual page of %#x",
+						vaBlock, vaTrigger)
+				}
+				if crossedVA && !resident(vaBlock) {
+					t.Errorf("fill targets VA %#x whose translation is not TLB-resident", vaBlock)
+				}
+				crossedPA := !mem.SamePage(ev.Block, paTrigger, mem.Page4K)
+				if ev.Req.CrossedPage != crossedPA {
+					t.Errorf("CrossedPage=%v disagrees with physical geometry (fill %#x, trigger %#x)",
+						ev.Req.CrossedPage, ev.Block, paTrigger)
+				}
+			}}
+			l2.SetLifecycleObserver(rec)
+			llc.SetLifecycleObserver(rec)
+
+			// A unit stride across 16 virtual pages: every page edge offers a
+			// crossing candidate, and every fourth page is non-resident, so
+			// both the residency gate and the boundary policy see traffic.
+			vaBase := mem.Addr(0x40000000)
+			for i := 0; i < 16*64; i++ {
+				va := vaBase + mem.Addr(i)*mem.BlockSize
+				vaTrigger = va
+				paTrigger = va + shift
+				req := &mem.Request{
+					PAddr:         va + shift,
+					VAddr:         va,
+					PC:            0x400000,
+					Type:          mem.Load,
+					Core:          0,
+					PageSize:      mem.Page4K,
+					PageSizeKnown: true,
+				}
+				l2.Access(req, mem.Cycle(i*20))
+			}
+
+			s := e.Stats
+			if s.Issued == 0 {
+				t.Fatal("no prefetches issued over a 16-page unit stride")
+			}
+			if s.VAIssued != s.Issued {
+				t.Errorf("VAIssued=%d != Issued=%d for an all-virtual prefetcher", s.VAIssued, s.Issued)
+			}
+			if variant == core.Original {
+				if s.CrossedPage4K != 0 {
+					t.Errorf("Original variant crossed %d 4KB lines", s.CrossedPage4K)
+				}
+				if s.DiscardedBoundary == 0 {
+					t.Error("Original variant never discarded a crossing candidate (no teeth)")
+				}
+			} else {
+				if s.CrossedPage4K == 0 {
+					t.Errorf("%s never crossed a 4KB line over 16 pages", variant)
+				}
+				if s.DiscardedUntranslated == 0 {
+					t.Errorf("%s never hit the TLB-residency gate although every 4th page is non-resident", variant)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,187 @@
+// Package vamp implements VA-AMPM-lite: Access Map Pattern Matching over
+// *virtual* addresses, after the ChampSim va_ampm_lite reference design. Each
+// tracked virtual region keeps a bitmap of demanded blocks; on an access the
+// prefetcher scans stride candidates k where the blocks at −k and −2k were
+// demanded and proposes +k — with the lookups crossing region boundaries, so
+// a stride marches straight through 4KB virtual pages.
+//
+// Candidates are proposed as virtual addresses (Candidate.Virtual): the
+// engine translates them before issue, gated on the target page's
+// translation being TLB-resident, which is the virtual-side answer to the
+// 4KB boundary problem that the paper's PPM answers physically. The
+// prefetcher keeps no prefetch map — the engine's Contains dedup fills that
+// role — so its state is a pure function of the demand virtual-address
+// stream, which the clamp-equivalence differential test relies on.
+package vamp
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// Config sizes the access-map tracker.
+type Config struct {
+	// Regions is the number of tracked virtual regions (hash-indexed,
+	// direct-mapped: a colliding region replaces the old map).
+	Regions int
+	// MaxDistance is the largest stride, in blocks, the pattern scan covers.
+	MaxDistance int
+	// Degree bounds candidates proposed per trigger access.
+	Degree int
+	// Clamp4K restricts candidates to the trigger's 4KB virtual page. A
+	// suppressed crossing candidate still consumes degree — exactly what
+	// happens to the unclamped prefetcher under the engine's Original
+	// boundary policy, where the crossing proposal spends the degree budget
+	// and is then discarded. The clamped prefetcher therefore issues
+	// byte-identically to unclamped-under-Original — the invariant behind
+	// the clamp-equivalence differential test.
+	Clamp4K bool
+}
+
+// DefaultConfig mirrors the reference design scaled to this simulator.
+func DefaultConfig() Config {
+	return Config{Regions: 128, MaxDistance: 64, Degree: 2}
+}
+
+// Scale returns a copy with the region count multiplied by k (ISO storage).
+func (c Config) Scale(k int) Config {
+	c.Regions *= k
+	return c
+}
+
+// Prefetcher is a VA-AMPM-lite instance. The region table is direct-mapped
+// by a hash of the region number: lookups are O(1), which matters because
+// every trigger access performs up to 3·MaxDistance·2 of them.
+type Prefetcher struct {
+	cfg        Config
+	regionBits uint
+	words      int      // bitmap words per region
+	tags       []uint64 // regionNumber<<1|1, 0 = invalid
+	bits       []uint64 // Regions × words access bitmaps
+	// slotMask is Regions-1 when Regions is a power of two, else 0 (generic
+	// modulo path).
+	slotMask uint64
+}
+
+// New creates a prefetcher tracking virtual regions of 2^regionBits bytes.
+func New(cfg Config, regionBits uint) *Prefetcher {
+	if regionBits < mem.PageBits4K || regionBits > mem.PageBits2M {
+		panic("vamp: regionBits outside [12, 21]")
+	}
+	blocks := 1 << (regionBits - mem.BlockBits)
+	words := (blocks + 63) / 64
+	p := &Prefetcher{
+		cfg:        cfg,
+		regionBits: regionBits,
+		words:      words,
+		tags:       make([]uint64, cfg.Regions),
+		bits:       make([]uint64, cfg.Regions*words),
+	}
+	if cfg.Regions&(cfg.Regions-1) == 0 {
+		p.slotMask = uint64(cfg.Regions - 1)
+	}
+	return p
+}
+
+// Factory adapts New to prefetch.Factory.
+func Factory(cfg Config) prefetch.Factory {
+	return func(regionBits uint) prefetch.Prefetcher { return New(cfg, regionBits) }
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "vamp" }
+
+func (p *Prefetcher) slot(region uint64) int {
+	h := region * 0x9e3779b97f4a7c15
+	if p.slotMask != 0 {
+		return int(h & p.slotMask)
+	}
+	return int(h % uint64(p.cfg.Regions))
+}
+
+// accessed reports whether the block at virtual address v was demanded in a
+// tracked region. Works for any address — this is the cross-region lookup
+// that lets strides march through region boundaries.
+func (p *Prefetcher) accessed(v mem.Addr) bool {
+	region := uint64(v) >> p.regionBits
+	s := p.slot(region)
+	if p.tags[s] != region<<1|1 {
+		return false
+	}
+	block := uint64(v>>mem.BlockBits) & (uint64(p.words)*64 - 1)
+	return p.bits[s*p.words+int(block>>6)]&(1<<(block&63)) != 0
+}
+
+// mark records the demand access at virtual address v, evicting a colliding
+// region's map if necessary.
+func (p *Prefetcher) mark(v mem.Addr) {
+	region := uint64(v) >> p.regionBits
+	s := p.slot(region)
+	tag := region<<1 | 1
+	base := s * p.words
+	if p.tags[s] != tag {
+		for i := base; i < base+p.words; i++ {
+			p.bits[i] = 0
+		}
+		p.tags[s] = tag
+	}
+	block := uint64(v>>mem.BlockBits) & (uint64(p.words)*64 - 1)
+	p.bits[base+int(block>>6)] |= 1 << (block & 63)
+}
+
+// vaOf returns the block-aligned virtual trigger address, falling back to
+// the physical address when the harness provides no translation (identity
+// mapping assumption, matching the engine's own fallback).
+func vaOf(ctx prefetch.Context) mem.Addr {
+	va := ctx.VAddr
+	if va == 0 {
+		va = ctx.Addr
+	}
+	return mem.BlockAlign(va)
+}
+
+// Train implements prefetch.Prefetcher: record the access, propose nothing.
+func (p *Prefetcher) Train(ctx prefetch.Context) {
+	if !ctx.Type.IsDemand() {
+		return
+	}
+	p.mark(vaOf(ctx))
+}
+
+// Operate implements prefetch.Prefetcher: record the access, then scan
+// strides outward; candidate va+d qualifies when va−d and va−2d were both
+// demanded and va+d was not.
+func (p *Prefetcher) Operate(ctx prefetch.Context, issue func(prefetch.Candidate)) {
+	if !ctx.Type.IsDemand() {
+		return
+	}
+	va := vaOf(ctx)
+	p.mark(va)
+	issued := 0
+	for k := 1; k <= p.cfg.MaxDistance; k++ {
+		for _, d := range [2]int64{int64(k), -int64(k)} {
+			step := mem.Addr(d) * mem.BlockSize
+			cand := va + step
+			if !prefetch.InGenLimit(va, cand) {
+				continue
+			}
+			if !p.accessed(va-step) || !p.accessed(va-2*step) {
+				continue
+			}
+			if p.accessed(cand) {
+				continue // already demanded
+			}
+			if p.cfg.Clamp4K && !mem.SamePage(va, cand, mem.Page4K) {
+				// Suppressed, but the degree budget is spent (see Config).
+				if issued++; issued >= p.cfg.Degree {
+					return
+				}
+				continue
+			}
+			issue(prefetch.Candidate{Addr: cand, FillL2: true, Virtual: true})
+			if issued++; issued >= p.cfg.Degree {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package vamp
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func step(addr mem.Addr) prefetch.Context {
+	return prefetch.Context{Addr: addr, VAddr: addr, Type: mem.Load, PageSize: mem.Page4K}
+}
+
+// TestStrideDetection: a unit-stride stream must propose the next block
+// ahead, as a virtual candidate destined for the L2.
+func TestStrideDetection(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	p.Train(step(base))
+	p.Train(step(base + mem.BlockSize))
+	var got []prefetch.Candidate
+	p.Operate(step(base+2*mem.BlockSize), func(c prefetch.Candidate) {
+		got = append(got, c)
+	})
+	if len(got) == 0 {
+		t.Fatal("no proposals after a unit-stride warmup")
+	}
+	if got[0].Addr != base+3*mem.BlockSize {
+		t.Errorf("first proposal %#x, want %#x", got[0].Addr, base+3*mem.BlockSize)
+	}
+	for _, c := range got {
+		if !c.Virtual {
+			t.Errorf("candidate %#x not marked virtual", c.Addr)
+		}
+		if !c.FillL2 {
+			t.Errorf("candidate %#x not destined for the L2", c.Addr)
+		}
+	}
+}
+
+// TestNegativeStride: a descending stream must propose the block below.
+func TestNegativeStride(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40010000)
+	p.Train(step(base + 10*mem.BlockSize))
+	p.Train(step(base + 9*mem.BlockSize))
+	found := false
+	p.Operate(step(base+8*mem.BlockSize), func(c prefetch.Candidate) {
+		if c.Addr == base+7*mem.BlockSize {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("descending unit stride never proposed the block below")
+	}
+}
+
+// TestCrossPageStride: the access-map lookups cross 4KB region boundaries,
+// so a stride at a page edge proposes into the next virtual page — the
+// property that distinguishes VA-AMPM from a page-local scheme.
+func TestCrossPageStride(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	blocks := mem.Addr(mem.PageSize4K / mem.BlockSize)
+	// Last three blocks of the page.
+	p.Train(step(base + (blocks-3)*mem.BlockSize))
+	p.Train(step(base + (blocks-2)*mem.BlockSize))
+	trigger := base + (blocks-1)*mem.BlockSize
+	crossed := false
+	p.Operate(step(trigger), func(c prefetch.Candidate) {
+		if !mem.SamePage(trigger, c.Addr, mem.Page4K) {
+			crossed = true
+		}
+	})
+	if !crossed {
+		t.Error("stride at the page edge never proposed across the 4KB line")
+	}
+}
+
+// TestClamp4K: with the clamp set, every candidate stays inside the
+// trigger's 4KB virtual page even when the pattern points past it.
+func TestClamp4K(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clamp4K = true
+	p := New(cfg, mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	blocks := mem.Addr(mem.PageSize4K / mem.BlockSize)
+	p.Train(step(base + (blocks-3)*mem.BlockSize))
+	p.Train(step(base + (blocks-2)*mem.BlockSize))
+	trigger := base + (blocks-1)*mem.BlockSize
+	p.Operate(step(trigger), func(c prefetch.Candidate) {
+		if !mem.SamePage(trigger, c.Addr, mem.Page4K) {
+			t.Errorf("clamped prefetcher proposed %#x outside the trigger's 4KB page", c.Addr)
+		}
+	})
+}
+
+// TestNoPatternNoProposals: isolated accesses with no −k/−2k support must
+// propose nothing.
+func TestNoPatternNoProposals(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	n := 0
+	p.Operate(step(0x40000000), func(prefetch.Candidate) { n++ })
+	p.Operate(step(0x40100000), func(prefetch.Candidate) { n++ })
+	p.Operate(step(0x40a00000), func(prefetch.Candidate) { n++ })
+	if n != 0 {
+		t.Errorf("proposals without any pattern support: %d", n)
+	}
+}
+
+// TestDemandedBlocksSkipped: a candidate the program already demanded is not
+// proposed again.
+func TestDemandedBlocksSkipped(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	p.Train(step(base))
+	p.Train(step(base + mem.BlockSize))
+	p.Train(step(base + 3*mem.BlockSize)) // the +1 candidate's target, pre-demanded
+	p.Operate(step(base+2*mem.BlockSize), func(c prefetch.Candidate) {
+		if c.Addr == base+3*mem.BlockSize {
+			t.Errorf("proposed %#x although it was already demanded", c.Addr)
+		}
+	})
+}
+
+// TestRegionEviction: a colliding region replaces the old map entirely, so
+// the evicted region's history no longer supports patterns.
+func TestRegionEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Regions = 1 // every region collides
+	p := New(cfg, mem.PageBits4K)
+	base := mem.Addr(0x40000000)
+	p.Train(step(base))
+	p.Train(step(base + mem.BlockSize))
+	p.Train(step(base + 0x100000)) // different region: evicts the map
+	if p.accessed(base) || p.accessed(base+mem.BlockSize) {
+		t.Fatal("evicted region's blocks still read as accessed")
+	}
+	n := 0
+	p.Operate(step(base+2*mem.BlockSize), func(prefetch.Candidate) { n++ })
+	// The trigger's own mark is the only survivor of the re-installed map:
+	// no −k/−2k support remains.
+	if n != 0 {
+		t.Errorf("proposals from an evicted region's history: %d", n)
+	}
+}
+
+// TestDegreeBound: proposals per access never exceed the configured degree.
+func TestDegreeBound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Degree = 2
+	p := New(cfg, mem.PageBits2M)
+	base := mem.Addr(0x40000000)
+	// Dense warmup: many strides have support.
+	for i := 0; i < 64; i++ {
+		p.Train(step(base + mem.Addr(i)*mem.BlockSize))
+	}
+	n := 0
+	p.Operate(step(base+64*mem.BlockSize), func(prefetch.Candidate) { n++ })
+	if n > cfg.Degree {
+		t.Errorf("issued %d candidates, degree is %d", n, cfg.Degree)
+	}
+}
+
+// TestVAddrPreferred: when the context carries a virtual address, the
+// pattern state must be keyed by it, not by the physical address.
+func TestVAddrPreferred(t *testing.T) {
+	p := New(DefaultConfig(), mem.PageBits4K)
+	va := mem.Addr(0x7f0000000000)
+	// Physical addresses deliberately scattered: a PA-keyed tracker would
+	// see no stride.
+	ctx := func(i int) prefetch.Context {
+		return prefetch.Context{
+			Addr:  mem.Addr(0x1000000*uint64(i*7+1)) | mem.Addr(i)*mem.BlockSize,
+			VAddr: va + mem.Addr(i)*mem.BlockSize,
+			Type:  mem.Load, PageSize: mem.Page4K,
+		}
+	}
+	p.Train(ctx(0))
+	p.Train(ctx(1))
+	found := false
+	p.Operate(ctx(2), func(c prefetch.Candidate) {
+		if c.Addr == va+3*mem.BlockSize {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("VA-keyed stride not detected when physical addresses scatter")
+	}
+}

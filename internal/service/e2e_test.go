@@ -124,4 +124,22 @@ func TestE2EServerParity(t *testing.T) {
 			t.Errorf("/metrics missing %q\n%s", want, metrics)
 		}
 	}
+
+	// The crossing study exercises the virtual-candidate path (vamp) and the
+	// Markov chain walker (pangloss) through the same service: remote must
+	// again match local byte-for-byte, proving the new engine statistics
+	// survive the wire format. It runs after the metrics assertions above,
+	// which pin exact simulation counts from the Figure 2 runs.
+	localCross, err := experiments.Crossing(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteCross, err := experiments.Crossing(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteCross.Render() != localCross.Render() {
+		t.Fatalf("remote crossing study differs from local:\n--- local ---\n%s--- remote ---\n%s",
+			localCross.Render(), remoteCross.Render())
+	}
 }

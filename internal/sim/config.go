@@ -16,10 +16,12 @@ import (
 	"repro/internal/prefetch/ampm"
 	"repro/internal/prefetch/bop"
 	"repro/internal/prefetch/nextline"
+	"repro/internal/prefetch/pangloss"
 	"repro/internal/prefetch/ppf"
 	"repro/internal/prefetch/sms"
 	"repro/internal/prefetch/spp"
 	"repro/internal/prefetch/temporal"
+	"repro/internal/prefetch/vamp"
 	"repro/internal/prefetch/vldp"
 	"repro/internal/vm"
 )
@@ -111,7 +113,9 @@ const (
 
 // PrefSpec selects the prefetching configuration of a run.
 type PrefSpec struct {
-	// Base is the L2 prefetcher: "none", "spp", "vldp", "ppf", or "bop".
+	// Base is the L2 prefetcher: "none", the paper's four ("spp", "vldp",
+	// "ppf", "bop"), or an extended base ("sms", "ampm", "temporal",
+	// "pangloss", "vamp").
 	Base string
 	// Variant is the page-size exploitation scheme wrapped around Base.
 	Variant core.Variant
@@ -138,10 +142,14 @@ func (s PrefSpec) String() string {
 func BaseNames() []string { return []string{"spp", "vldp", "ppf", "bop"} }
 
 // ExtendedBaseNames adds the prefetchers implemented beyond the paper's four
-// (SMS from ISCA '06, AMPM from ICS '09, and a GHB-style temporal prefetcher
-// for the spatial-vs-temporal contrast of Section II-A), demonstrating that
-// the PPM machinery wraps further designs unmodified.
-func ExtendedBaseNames() []string { return append(BaseNames(), "sms", "ampm", "temporal") }
+// (SMS from ISCA '06, AMPM from ICS '09, a GHB-style temporal prefetcher for
+// the spatial-vs-temporal contrast of Section II-A, the Pangloss Markov
+// delta-chain prefetcher from DPC-3, and VA-AMPM-lite operating in virtual
+// address space), demonstrating that the PPM machinery wraps further designs
+// unmodified.
+func ExtendedBaseNames() []string {
+	return append(BaseNames(), "sms", "ampm", "temporal", "pangloss", "vamp")
+}
 
 // factoryFor builds the prefetcher factory for a base name. The ISOStorage
 // variant doubles every table (Figure 11's iso-storage comparison).
@@ -165,6 +173,10 @@ func factoryFor(base string, variant core.Variant) (prefetch.Factory, error) {
 		return ampm.Factory(ampm.DefaultConfig().Scale(scale)), nil
 	case "temporal":
 		return temporal.Factory(temporal.DefaultConfig().Scale(scale)), nil
+	case "pangloss":
+		return pangloss.Factory(pangloss.DefaultConfig().Scale(scale)), nil
+	case "vamp":
+		return vamp.Factory(vamp.DefaultConfig().Scale(scale)), nil
 	case "nextline":
 		return nextline.Factory(4), nil
 	}

@@ -121,6 +121,10 @@ func newSystem(cfg Config, spec PrefSpec, workloads []trace.Workload, seed uint6
 				return nil, err
 			}
 			n.engine = core.New(factory, spec.Variant, n.l2, s.llc, oracle, i)
+			// Virtual-side candidates (vamp) translate through the core's own
+			// TLBs: resident pages issue, everything else is dropped — VA
+			// prefetching must never force a page walk.
+			n.engine.SetTranslator(residentTranslator(n.mmu))
 			if cfg.PQDepth > 0 {
 				n.engine.PQDepth = cfg.PQDepth
 			}
@@ -135,6 +139,19 @@ func newSystem(cfg Config, spec PrefSpec, workloads []trace.Workload, seed uint6
 	}
 	s.llc.SetObserver(&core.LLCFeedback{Engines: engines})
 	return s, nil
+}
+
+// residentTranslator adapts an MMU's statistics-neutral TLB probe to the
+// engine's Translator hook: virtual candidates resolve only against
+// TLB-resident pages, so prefetch speculation never walks the page table.
+func residentTranslator(m *vm.MMU) core.Translator {
+	return func(v mem.Addr) (mem.Addr, mem.PageSize, bool) {
+		tr, ok := m.ResidentTranslate(v)
+		if !ok {
+			return 0, 0, false
+		}
+		return tr.PAddr, tr.Size, true
+	}
 }
 
 func named(c cache.Config, coreID int) cache.Config {

@@ -281,13 +281,23 @@ func (m *MMU) prefetchTranslation(v mem.Addr, at mem.Cycle) {
 // used by the IPCP++ variant, which crosses 4KB boundaries only when the
 // target page's translation is TLB-resident.
 func (m *MMU) Resident(v mem.Addr) bool {
+	_, ok := m.ResidentTranslate(v)
+	return ok
+}
+
+// ResidentTranslate returns the translation for v when it is present in
+// either TLB level, probing without perturbing hit statistics. It backs
+// TLB-gated virtual-address prefetching (the engine's Translator hook): a
+// resident translation costs only the probe, and a non-resident one must
+// never trigger a speculative page walk.
+func (m *MMU) ResidentTranslate(v mem.Addr) (Translation, bool) {
 	h1, mi1, by1 := m.l1.Hits, m.l1.Misses, m.l1.HitsBy
 	h2, mi2, by2 := m.l2.Hits, m.l2.Misses, m.l2.HitsBy
-	_, ok := m.l1.Lookup(v)
+	tr, ok := m.l1.Lookup(v)
 	if !ok {
-		_, ok = m.l2.Lookup(v)
+		tr, ok = m.l2.Lookup(v)
 	}
 	m.l1.Hits, m.l1.Misses, m.l1.HitsBy = h1, mi1, by1
 	m.l2.Hits, m.l2.Misses, m.l2.HitsBy = h2, mi2, by2
-	return ok
+	return tr, ok
 }
